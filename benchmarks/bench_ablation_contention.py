@@ -1,0 +1,35 @@
+"""Ablation: the context-switch storm term (DESIGN.md section 4.2).
+
+Zero the per-dispatch disturbance and the UMT collapse shrinks toward
+the raw IKC round-trip overhead — showing the collapse is driven by
+proxy-scheduling thrash, not by the offload hop itself.
+"""
+
+from dataclasses import replace
+
+from repro.apps import UMT2013
+from repro.cluster import simulate_app
+from repro.config import OSConfig
+from repro.params import default_params
+
+
+def bench_ablation_context_switch(benchmark):
+    def run():
+        out = {}
+        for switch_us in (0.0, 25.0, 75.0):
+            params = default_params()
+            params = params.with_overrides(
+                ikc=replace(params.ikc,
+                            context_switch_cost=switch_us * 1e-6))
+            linux = simulate_app(UMT2013, 8, OSConfig.LINUX, params=params)
+            mck = simulate_app(UMT2013, 8, OSConfig.MCKERNEL, params=params)
+            out[switch_us] = mck.figure_of_merit / linux.figure_of_merit
+        return out
+
+    rel = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nUMT2013 @ 8 nodes, McKernel relative perf vs per-dispatch "
+          "disturbance:")
+    for us, value in rel.items():
+        print(f"  switch={us:5.1f}us -> {100 * value:5.1f}% of Linux")
+        benchmark.extra_info[f"switch_{int(us)}us"] = round(value, 3)
+    assert rel[0.0] > 2.5 * rel[75.0]     # thrash is the dominant term

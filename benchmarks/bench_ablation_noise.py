@@ -1,0 +1,48 @@
+"""Ablation: Linux residual noise (DESIGN.md section 4.4).
+
+Silence the noise model and the McKernel advantage on synchronization-
+heavy workloads (Nekbone; QBOX at scale) disappears — isolating noise
+amplification as its cause.
+"""
+
+from dataclasses import replace
+
+from repro.apps import NEKBONE, QBOX
+from repro.cluster import simulate_app
+from repro.config import OSConfig
+from repro.params import default_params
+
+
+def _quiet_params():
+    params = default_params()
+    return params.with_overrides(
+        noise=replace(params.noise, tick_rate_hz=0.0, burst_rate_hz=0.0))
+
+
+def _rel(spec, n, params):
+    linux = simulate_app(spec, n, OSConfig.LINUX, params=params)
+    mck = simulate_app(spec, n, OSConfig.MCKERNEL_HFI, params=params)
+    return mck.figure_of_merit / linux.figure_of_merit
+
+
+def bench_ablation_noise(benchmark):
+    def run():
+        noisy = default_params()
+        quiet = _quiet_params()
+        return {
+            "nekbone_noisy": _rel(NEKBONE, 128, noisy),
+            "nekbone_quiet": _rel(NEKBONE, 128, quiet),
+            "qbox_noisy": _rel(QBOX, 256, noisy),
+            "qbox_quiet": _rel(QBOX, 256, quiet),
+        }
+
+    rel = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nMcKernel+HFI relative performance, Linux noise on vs off:")
+    print(f"  Nekbone @128 nodes: {100 * rel['nekbone_noisy']:.1f}% vs "
+          f"{100 * rel['nekbone_quiet']:.1f}% (quiet)")
+    print(f"  QBOX    @256 nodes: {100 * rel['qbox_noisy']:.1f}% vs "
+          f"{100 * rel['qbox_quiet']:.1f}% (quiet)")
+    for k, v in rel.items():
+        benchmark.extra_info[k] = round(v, 3)
+    assert rel["nekbone_noisy"] > rel["nekbone_quiet"]
+    assert rel["qbox_noisy"] > rel["qbox_quiet"] + 0.05

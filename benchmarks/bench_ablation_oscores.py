@@ -1,0 +1,34 @@
+"""Ablation: OS-CPU pool size vs the UMT2013 collapse (DESIGN.md 4.2).
+
+The offload bottleneck is the handful of Linux CPUs serving 32 ranks;
+giving Linux more cores softens the collapse monotonically.
+"""
+
+from dataclasses import replace
+
+from repro.apps import UMT2013
+from repro.cluster import simulate_app
+from repro.config import OSConfig
+from repro.params import default_params
+
+
+def bench_ablation_os_cores(benchmark):
+    def run():
+        out = {}
+        for os_cores in (2, 4, 8, 16):
+            params = default_params()
+            params = params.with_overrides(
+                node=replace(params.node, os_cores=os_cores))
+            linux = simulate_app(UMT2013, 8, OSConfig.LINUX, params=params)
+            mck = simulate_app(UMT2013, 8, OSConfig.MCKERNEL, params=params)
+            out[os_cores] = mck.figure_of_merit / linux.figure_of_merit
+        return out
+
+    rel = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nUMT2013 @ 8 nodes, McKernel relative performance vs OS cores:")
+    for cores, value in rel.items():
+        print(f"  {cores:2d} Linux CPUs -> {100 * value:5.1f}% of Linux")
+        benchmark.extra_info[f"os_cores_{cores}"] = round(value, 3)
+    values = list(rel.values())
+    assert values == sorted(values)        # monotone relief
+    assert rel[16] > 2 * rel[2]            # and substantial

@@ -1,0 +1,39 @@
+"""Ablation: the PSM rendezvous window size (DESIGN.md section 4).
+
+Smaller windows mean more TID registrations and writev calls per
+message; on McKernel each extra call is another offload, so shrinking
+the window deepens the expected-receive penalty, while Linux is far less
+sensitive.
+"""
+
+from dataclasses import replace
+
+from repro.apps.imb import PingPong
+from repro.config import OSConfig
+from repro.experiments import build_machine
+from repro.params import default_params
+from repro.units import KiB, MiB
+
+
+def bench_ablation_window_size(benchmark):
+    def run():
+        out = {}
+        for window in (64 * KiB, 256 * KiB, 1 * MiB):
+            params = default_params()
+            params = params.with_overrides(
+                psm=replace(params.psm, window_size=window))
+            bw = {}
+            for config in (OSConfig.LINUX, OSConfig.MCKERNEL):
+                machine = build_machine(2, config, params=params)
+                bw[config] = PingPong(machine, repetitions=3).run(
+                    [4 * MiB])[4 * MiB]
+            out[window] = bw[OSConfig.MCKERNEL] / bw[OSConfig.LINUX]
+        return out
+
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n4MB ping-pong, McKernel/Linux bandwidth vs rendezvous window:")
+    for window, ratio in ratios.items():
+        print(f"  window={window // 1024:5d}KB -> {ratio:.3f}")
+        benchmark.extra_info[f"window_{window // 1024}k"] = round(ratio, 3)
+    # more windows -> more offloads -> relatively slower McKernel
+    assert ratios[64 * KiB] < ratios[1 * MiB]

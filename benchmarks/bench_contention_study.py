@@ -1,0 +1,23 @@
+"""Offload contention on the detailed simulator (paper section 4.3).
+
+Measures the caller-visible latency of an offloaded TID_UPDATE as the
+number of concurrently-issuing McKernel ranks grows past the 4 Linux
+CPUs — the amplification that produces the UMT2013/HACC collapse — and
+compares the macro model's closed form against the measurement.
+"""
+
+import pytest
+
+from repro.experiments.contention import run_contention
+
+
+def bench_contention_study(benchmark):
+    result = benchmark.pedantic(run_contention, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    for n in result.rank_counts:
+        benchmark.extra_info[f"ranks_{n}_us"] = round(
+            result.measured[n] * 1e6, 2)
+    assert result.amplification(32) > 100
+    assert result.measured[4] == pytest.approx(result.measured[1],
+                                               rel=0.05)

@@ -1,0 +1,58 @@
+"""Extension benchmark: InfiniBand memory registration (paper section 6
+future work).
+
+Registers and deregisters a 16MB region under each OS configuration and
+reports the registration latency plus the MTT footprint: the PicoDriver
+port avoids both the offload round-trip and per-page MTT programming.
+"""
+
+from repro.config import ALL_CONFIGS, OSConfig
+from repro.core.mlx_pico import MlxMemRegPicoDriver
+from repro.experiments import build_machine
+from repro.linux.mlx import MLX_CMD_DEREG_MR, MLX_CMD_REG_MR, MlxDriver
+from repro.units import MiB, fmt_time
+
+SIZE = 16 * MiB
+
+
+def _reg_latency(config):
+    machine = build_machine(1, config)
+    mlx = MlxDriver()
+    machine.nodes[0].linux.load_driver(mlx)
+    if config is OSConfig.MCKERNEL_HFI:
+        machine.nodes[0].mckernel.register_picodriver(
+            MlxMemRegPicoDriver(mlx))
+    task = machine.spawn_rank(0, 0)
+    out = {}
+
+    def body():
+        fd = yield from task.syscall("open", mlx.device_path)
+        buf = yield from task.syscall("mmap", SIZE)
+        t0 = machine.sim.now
+        keys = yield from task.syscall("ioctl", fd, MLX_CMD_REG_MR,
+                                       {"vaddr": buf, "length": SIZE})
+        out["latency"] = machine.sim.now - t0
+        out["mtt"] = mlx.mtt_entries_used
+        yield from task.syscall("ioctl", fd, MLX_CMD_DEREG_MR,
+                                {"lkey": keys["lkey"]})
+
+    machine.sim.run(until=machine.sim.process(body()))
+    return out
+
+
+def bench_ext_infiniband_memreg(benchmark):
+    results = benchmark.pedantic(
+        lambda: {c: _reg_latency(c) for c in ALL_CONFIGS},
+        rounds=1, iterations=1)
+    print(f"\nreg_mr of {SIZE // MiB}MB:")
+    for config, r in results.items():
+        print(f"  {config.label:14s} latency={fmt_time(r['latency']):>8s}  "
+              f"MTT entries={r['mtt']}")
+        benchmark.extra_info[f"{config.value}_latency_us"] = round(
+            r["latency"] * 1e6, 2)
+        benchmark.extra_info[f"{config.value}_mtt"] = r["mtt"]
+    lat = {c: results[c]["latency"] for c in ALL_CONFIGS}
+    assert lat[OSConfig.MCKERNEL] > lat[OSConfig.LINUX]     # offload hurts
+    assert lat[OSConfig.MCKERNEL_HFI] < lat[OSConfig.LINUX]  # pico wins
+    assert (results[OSConfig.MCKERNEL_HFI]["mtt"]
+            < 0.05 * results[OSConfig.LINUX]["mtt"])

@@ -1,0 +1,28 @@
+"""Extension benchmark: projection to 2,048 nodes / 65,536 ranks (paper
+section 6: "plans to perform a much larger scale evaluation").
+
+The qualitative story must persist at scale: UMT's McKernel collapse
+stays collapsed, the HFI advantage holds or grows (noise amplification
+strengthens the noise-free kernels' edge), and Nekbone's McKernel win
+widens.
+"""
+
+from repro.config import OSConfig
+from repro.experiments.scale_projection import run_projection
+
+
+def bench_ext_scale_projection(benchmark):
+    result = benchmark.pedantic(run_projection, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    umt_mck = result.series("UMT2013", OSConfig.MCKERNEL)
+    umt_hfi = result.series("UMT2013", OSConfig.MCKERNEL_HFI)
+    nek_mck = result.series("Nekbone", OSConfig.MCKERNEL)
+    qbox_hfi = result.series("QBOX", OSConfig.MCKERNEL_HFI)
+    benchmark.extra_info["umt_mck_2048"] = round(umt_mck[-1], 3)
+    benchmark.extra_info["umt_hfi_2048"] = round(umt_hfi[-1], 3)
+    benchmark.extra_info["qbox_hfi_2048"] = round(qbox_hfi[-1], 3)
+    assert all(v < 0.25 for v in umt_mck)       # collapse persists
+    assert all(v > 1.0 for v in umt_hfi)        # HFI advantage persists
+    assert nek_mck[-1] > nek_mck[0]             # noise edge widens
+    assert qbox_hfi[-1] > qbox_hfi[0]

@@ -1,0 +1,24 @@
+"""Figure 4: MPI ping-pong bandwidth, regenerated on the detailed DES.
+
+Paper shape: parity below 64KB (PIO); McKernel ~90% of Linux above it;
+McKernel+HFI above Linux, peaking ~+15% at 4MB.
+"""
+
+from repro.config import OSConfig
+from repro.experiments import run_fig4
+from repro.experiments.fig4 import DEFAULT_SIZES
+from repro.units import MiB
+
+
+def bench_fig4_pingpong(benchmark):
+    result = benchmark.pedantic(run_fig4, kwargs={"sizes": DEFAULT_SIZES},
+                                rounds=1, iterations=1)
+    print()
+    print(result.render())
+    benchmark.extra_info["linux_4MB_MBps"] = round(
+        result.series[OSConfig.LINUX][4 * MiB] / 1e6, 1)
+    benchmark.extra_info["mck_over_linux_4MB"] = round(
+        result.ratio(OSConfig.MCKERNEL, 4 * MiB), 3)
+    benchmark.extra_info["hfi_over_linux_4MB"] = round(
+        result.ratio(OSConfig.MCKERNEL_HFI, 4 * MiB), 3)
+    assert result.ratio(OSConfig.MCKERNEL_HFI, 4 * MiB) > 1.05

@@ -1,0 +1,19 @@
+"""Figure 5a: LAMMPS weak scaling (64 ranks/node x 2 threads).
+
+Paper shape: McKernel performs like Linux with or without the PicoDriver
+— the driver introduces no regression on unaffected workloads.
+"""
+
+from repro.config import OSConfig
+from repro.experiments import run_fig5a
+
+
+def bench_fig5a_lammps(benchmark):
+    result = benchmark.pedantic(run_fig5a, rounds=1, iterations=1)
+    print()
+    print(result.render("Figure 5a: LAMMPS relative performance (%)"))
+    for config in (OSConfig.MCKERNEL, OSConfig.MCKERNEL_HFI):
+        series = result.series(config)
+        benchmark.extra_info[f"{config.value}_min"] = round(min(series), 3)
+        benchmark.extra_info[f"{config.value}_max"] = round(max(series), 3)
+        assert all(0.94 < v < 1.08 for v in series)

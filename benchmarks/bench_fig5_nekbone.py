@@ -1,0 +1,20 @@
+"""Figure 5b: Nekbone weak scaling (32 ranks/node x 4 threads).
+
+Paper shape: a small McKernel improvement from the start (noise-free
+allreduces), preserved by the HFI PicoDriver.
+"""
+
+from repro.config import OSConfig
+from repro.experiments import run_fig5b
+
+
+def bench_fig5b_nekbone(benchmark):
+    result = benchmark.pedantic(run_fig5b, rounds=1, iterations=1)
+    print()
+    print(result.render("Figure 5b: Nekbone relative performance (%)"))
+    mck = result.series(OSConfig.MCKERNEL)
+    hfi = result.series(OSConfig.MCKERNEL_HFI)
+    benchmark.extra_info["mckernel_max"] = round(max(mck), 3)
+    benchmark.extra_info["hfi_max"] = round(max(hfi), 3)
+    assert max(mck) > 1.0 and max(hfi) > 1.0
+    assert all(v > 0.97 for v in mck + hfi)

@@ -1,0 +1,23 @@
+"""Figure 6b: HACC weak scaling.
+
+Paper shape: parity on one node; the original McKernel averages ~71% of
+Linux on multi-node runs; McKernel+HFI beats Linux.
+"""
+
+from repro.config import OSConfig
+from repro.experiments import run_fig6b
+
+
+def bench_fig6b_hacc(benchmark):
+    result = benchmark.pedantic(run_fig6b, rounds=1, iterations=1)
+    print()
+    print(result.render("Figure 6b: HACC relative performance (%)"))
+    mck = result.relative[OSConfig.MCKERNEL]
+    hfi = result.relative[OSConfig.MCKERNEL_HFI]
+    multi = [mck[n] for n in result.node_counts if n > 1]
+    avg = sum(multi) / len(multi)
+    benchmark.extra_info["mck_multinode_avg"] = round(avg, 3)
+    benchmark.extra_info["hfi_max"] = round(max(hfi.values()), 3)
+    assert 0.93 < mck[1] < 1.10          # single-node parity
+    assert 0.60 < avg < 0.85             # paper: 71% on average
+    assert all(v > 1.0 for n, v in hfi.items() if n > 1)

@@ -1,0 +1,23 @@
+"""Figure 6a: UMT2013 weak scaling — the headline collapse.
+
+Paper shape: parity on one node; the original McKernel collapses on
+multi-node runs (driver-call offloading under 32-rank contention on 4
+Linux CPUs); McKernel+HFI outperforms Linux.
+"""
+
+from repro.config import OSConfig
+from repro.experiments import run_fig6a
+
+
+def bench_fig6a_umt(benchmark):
+    result = benchmark.pedantic(run_fig6a, rounds=1, iterations=1)
+    print()
+    print(result.render("Figure 6a: UMT2013 relative performance (%)"))
+    mck = result.relative[OSConfig.MCKERNEL]
+    hfi = result.relative[OSConfig.MCKERNEL_HFI]
+    benchmark.extra_info["mck_1node"] = round(mck[1], 3)
+    benchmark.extra_info["mck_128nodes"] = round(mck[128], 3)
+    benchmark.extra_info["hfi_128nodes"] = round(hfi[128], 3)
+    assert 0.93 < mck[1] < 1.07          # single-node parity
+    assert mck[128] < 0.25               # the collapse
+    assert hfi[128] > 1.04               # PicoDriver beats Linux

@@ -1,0 +1,22 @@
+"""Figure 7: QBOX weak scaling (4+ nodes).
+
+Paper shape: the original McKernel is not dramatically below Linux;
+McKernel+HFI shows substantial speedups growing with scale (up to +30%
+in the paper).
+"""
+
+from repro.config import OSConfig
+from repro.experiments import run_fig7
+
+
+def bench_fig7_qbox(benchmark):
+    result = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    print()
+    print(result.render("Figure 7: QBOX relative performance (%)"))
+    mck = result.relative[OSConfig.MCKERNEL]
+    hfi = result.relative[OSConfig.MCKERNEL_HFI]
+    benchmark.extra_info["mck_min"] = round(min(mck.values()), 3)
+    benchmark.extra_info["hfi_256nodes"] = round(hfi[256], 3)
+    assert min(mck.values()) > 0.6       # no UMT-style collapse
+    assert hfi[256] > 1.10               # substantial speedup at scale
+    assert hfi[256] > hfi[4]             # gains grow with node count

@@ -1,0 +1,24 @@
+"""Figure 8: UMT2013 kernel-level syscall breakdown (McKernel profiler).
+
+Paper shape: ioctl()+writev() dominate the original McKernel's kernel
+time (>70%); with the HFI PicoDriver they fall below 30% and total
+kernel time collapses to a few percent of the original (paper: 7%).
+"""
+
+from repro.experiments import run_fig8
+
+
+def bench_fig8_umt_syscalls(benchmark):
+    result = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    print()
+    print(result.render("Figure 8"))
+    mck, hfi = result.mckernel, result.mckernel_hfi
+    driver_share_mck = mck.share("ioctl") + mck.share("writev")
+    driver_share_hfi = hfi.share("ioctl") + hfi.share("writev")
+    benchmark.extra_info["mck_ioctl_writev_share"] = round(driver_share_mck, 3)
+    benchmark.extra_info["hfi_ioctl_writev_share"] = round(driver_share_hfi, 3)
+    benchmark.extra_info["hfi_kernel_time_ratio"] = round(
+        result.kernel_time_ratio, 3)
+    assert driver_share_mck > 0.70
+    assert driver_share_hfi < 0.30
+    assert result.kernel_time_ratio < 0.15

@@ -1,0 +1,21 @@
+"""Figure 9: QBOX kernel-level syscall breakdown (McKernel profiler).
+
+Paper shape: the same ioctl/writev reduction as UMT, but munmap()
+dominates the remaining kernel time — the McKernel memory-management
+cost the paper flags as future work.
+"""
+
+from repro.experiments import run_fig9
+
+
+def bench_fig9_qbox_syscalls(benchmark):
+    result = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    print()
+    print(result.render("Figure 9"))
+    benchmark.extra_info["hfi_dominant_syscall"] = result.mckernel_hfi.dominant()
+    benchmark.extra_info["hfi_munmap_share"] = round(
+        result.mckernel_hfi.share("munmap"), 3)
+    benchmark.extra_info["hfi_kernel_time_ratio"] = round(
+        result.kernel_time_ratio, 3)
+    assert result.mckernel_hfi.dominant() == "munmap"
+    assert result.kernel_time_ratio < 0.8

@@ -1,0 +1,19 @@
+"""Porting-effort inventory (paper: <3K of ~50K driver SLOC ported).
+
+Measures the LWK fast path's size against the Linux-resident stack it
+cooperates with, and the claimed syscall surface (2 of 7 file operations,
+3 of 13 ioctl commands).
+"""
+
+from repro.experiments import run_sloc
+
+
+def bench_sloc_inventory(benchmark):
+    result = benchmark.pedantic(run_sloc, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    benchmark.extra_info["pico_sloc"] = result.pico_sloc
+    benchmark.extra_info["linux_stack_sloc"] = result.linux_stack_sloc
+    benchmark.extra_info["fraction"] = round(result.sloc_fraction, 3)
+    assert result.sloc_fraction < 0.5
+    assert result.claimed_ioctls == 3

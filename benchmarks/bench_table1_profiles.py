@@ -1,0 +1,25 @@
+"""Table 1: communication profiles of UMT2013, HACC and QBOX on 8 nodes.
+
+Paper shapes: McKernel's MPI_Wait explodes on UMT/HACC; McKernel+HFI
+spends less in Wait than Linux; MPI_Init is inflated on McKernel+HFI;
+HACC's Linux profile is dominated by MPI_Cart_create.
+"""
+
+from repro.config import OSConfig
+from repro.experiments import run_table1
+
+
+def bench_table1_profiles(benchmark):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    wait_l = result.time_in("UMT2013", OSConfig.LINUX, "Wait")
+    wait_m = result.time_in("UMT2013", OSConfig.MCKERNEL, "Wait")
+    wait_h = result.time_in("UMT2013", OSConfig.MCKERNEL_HFI, "Wait")
+    benchmark.extra_info["umt_wait_linux_s"] = round(wait_l, 1)
+    benchmark.extra_info["umt_wait_mckernel_s"] = round(wait_m, 1)
+    benchmark.extra_info["umt_wait_hfi_s"] = round(wait_h, 1)
+    assert wait_m > 4 * wait_l           # the order-of-magnitude blowup
+    assert wait_h < wait_l               # HFI waits less than Linux
+    assert (result.top("HACC", OSConfig.LINUX, 1)[0].call
+            == "Cart_create")

@@ -1,0 +1,23 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one of the paper's tables/figures and prints
+the series it produces (run with ``pytest benchmarks/ --benchmark-only -s``
+to see them; key numbers are also attached as ``extra_info`` on the
+benchmark records).
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time one deterministic regeneration (simulations are exact
+    replays, so one round is meaningful)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+    return _run

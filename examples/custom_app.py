@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Evaluate your own application signature on both simulators.
+
+Signatures are small declarative objects; the same spec runs through
+
+* the **micro** backend — the full discrete-event stack (real PSM
+  endpoints, real driver syscalls, real SDMA descriptors) at a small
+  scale, and
+* the **macro** backend — the closed-form cluster model at up to
+  thousands of ranks,
+
+so you can sanity-check a workload's OS sensitivity before writing any
+MPI code.  Here: a made-up seismic stencil code with medium halos, a
+pressure solve (allreduces) and periodic snapshot buffering.
+
+Run:  python examples/custom_app.py
+"""
+
+from repro.apps import AppSpec, CollectivePhase, HaloExchange, MemChurn, run_micro
+from repro.cluster import simulate_app
+from repro.config import ALL_CONFIGS, OSConfig
+from repro.experiments import build_machine
+from repro.units import KiB, MiB
+
+SEISMIC = AppSpec(
+    name="SeismicStencil",
+    ranks_per_node=32,
+    threads_per_rank=4,
+    iterations=6,
+    compute_seconds=20e-3,
+    phases=(
+        # 3D stencil halos: expected-receive sized -> driver involvement
+        HaloExchange(neighbors=6, msg_bytes=256 * KiB),
+        # pressure solve reductions
+        CollectivePhase("allreduce", nbytes=8, count=2),
+        # snapshot staging buffers
+        MemChurn(mmaps=2, nbytes=4 * MiB),
+    ),
+    imbalance_cv=0.04,
+    lwk_compute_factor=0.97,
+)
+
+
+def micro_check():
+    """Scaled-down run through the full DES (2 nodes, 2 ranks/node)."""
+    print("micro (detailed DES, 2 nodes x 2 ranks, scaled compute):")
+    from dataclasses import replace
+    tiny = replace(SEISMIC, ranks_per_node=2, iterations=2)
+    for config in ALL_CONFIGS:
+        machine = build_machine(2, config)
+        runtime, stats = run_micro(machine, tiny, compute_scale=0.05)
+        print(f"  {config.label:14s} runtime={runtime * 1e3:7.2f}ms  "
+              f"Wait={stats.time_in('Wait') * 1e3:6.2f}ms  "
+              f"Init={stats.time_in('Init') * 1e3:6.2f}ms")
+
+
+def macro_sweep():
+    print("\nmacro (cluster model), relative performance to Linux (%):")
+    print(f"{'nodes':>6s} {'McKernel':>10s} {'McKernel+HFI':>13s}")
+    for n in (1, 4, 16, 64, 256):
+        res = {c: simulate_app(SEISMIC, n, c) for c in ALL_CONFIGS}
+        linux = res[OSConfig.LINUX].figure_of_merit
+        print(f"{n:6d} "
+              f"{100 * res[OSConfig.MCKERNEL].figure_of_merit / linux:9.1f}% "
+              f"{100 * res[OSConfig.MCKERNEL_HFI].figure_of_merit / linux:12.1f}%")
+    print("\n256KB halos sit on the expected-receive path: this workload")
+    print("would suffer on a plain multi-kernel and wants the PicoDriver.")
+
+
+if __name__ == "__main__":
+    micro_check()
+    macro_sweep()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Extending PicoDriver to a second device: InfiniBand memory registration.
+
+The paper closes with: "we intend to further extend this work by porting
+memory registration routines from the Mellanox Infiniband driver"
+(section 6).  This example does that port on the simulated stack and
+shows the framework's generality claims hold:
+
+* the unmodified mlx5 verbs driver keeps serving the whole command
+  surface; the LWK fast path claims only REG_MR/DEREG_MR (2 of 9);
+* structure layouts again come from DWARF extraction of the module;
+* McKernel's pinned, physically contiguous memory collapses the MTT
+  footprint from one entry per 4KB page to one per span.
+
+Run:  python examples/infiniband_memreg.py
+"""
+
+from repro.config import ALL_CONFIGS, OSConfig
+from repro.core.mlx_pico import MlxMemRegPicoDriver
+from repro.experiments import build_machine
+from repro.linux.mlx import (ALL_VERB_COMMANDS, MEMREG_COMMANDS,
+                             MLX_CMD_DEREG_MR, MLX_CMD_REG_MR, MlxDriver)
+from repro.units import MiB, fmt_time
+
+SIZE = 16 * MiB
+
+
+def register_region(config):
+    machine = build_machine(1, config)
+    mlx = MlxDriver()
+    machine.nodes[0].linux.load_driver(mlx)
+    if config is OSConfig.MCKERNEL_HFI:
+        machine.nodes[0].mckernel.register_picodriver(
+            MlxMemRegPicoDriver(mlx))
+    task = machine.spawn_rank(0, 0)
+    out = {}
+
+    def body():
+        fd = yield from task.syscall("open", mlx.device_path)
+        buf = yield from task.syscall("mmap", SIZE)
+        t0 = machine.sim.now
+        keys = yield from task.syscall("ioctl", fd, MLX_CMD_REG_MR,
+                                       {"vaddr": buf, "length": SIZE})
+        out["reg"] = machine.sim.now - t0
+        out["mtt"] = mlx.mtt_entries_used
+        t0 = machine.sim.now
+        yield from task.syscall("ioctl", fd, MLX_CMD_DEREG_MR,
+                                {"lkey": keys["lkey"]})
+        out["dereg"] = machine.sim.now - t0
+
+    machine.sim.run(until=machine.sim.process(body()))
+    return out
+
+
+def main():
+    print(f"ibv_reg_mr() of a {SIZE // MiB}MB buffer "
+          f"(fast path claims {len(MEMREG_COMMANDS)} of "
+          f"{len(ALL_VERB_COMMANDS)} verbs commands)\n")
+    print(f"{'configuration':16s} {'reg_mr':>10s} {'dereg_mr':>10s} "
+          f"{'MTT entries':>12s}")
+    for config in ALL_CONFIGS:
+        r = register_region(config)
+        print(f"{config.label:16s} {fmt_time(r['reg']):>10s} "
+              f"{fmt_time(r['dereg']):>10s} {r['mtt']:12d}")
+    print("\nLinux pins and programs one MTT entry per 4KB page; offloading")
+    print("adds the IKC round trip on top.  The LWK fast path walks pinned")
+    print("page tables and programs one entry per contiguous span — for a")
+    print("fully contiguous 16MB region, a single entry.")
+
+
+if __name__ == "__main__":
+    main()

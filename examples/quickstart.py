@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Quickstart: a two-node OmniPath cluster under three operating systems.
+
+Builds the full simulated stack (KNL nodes, HFI NICs, Linux + HFI1 driver,
+and for the multi-kernel configurations IHK/McKernel with or without the
+HFI PicoDriver), sends one 4MB MPI-style message, and shows where the
+performance difference comes from: the SDMA descriptor sizes each driver
+submits to the hardware.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.config import ALL_CONFIGS
+from repro.experiments import build_machine
+from repro.psm import Endpoint, TagMatcher
+from repro.units import MiB, fmt_time
+
+SIZE = 4 * MiB
+
+
+def transfer(machine):
+    """One rendezvous transfer between rank 0 (node 0) and rank 1 (node 1).
+
+    Returns (elapsed seconds, mean SDMA descriptor bytes).
+    """
+    sim = machine.sim
+    sender_task = machine.spawn_rank(0, 0, 0)
+    receiver_task = machine.spawn_rank(1, 0, 1)
+    sender = Endpoint(sim, machine.params, machine.nodes[0].node.hfi,
+                      sender_task, tracer=machine.tracer)
+    receiver = Endpoint(sim, machine.params, machine.nodes[1].node.hfi,
+                        receiver_task, tracer=machine.tracer)
+    done = {}
+
+    def rx():
+        yield from receiver.open()
+        buf = yield from receiver_task.syscall("mmap", SIZE)
+        req = receiver.mq_irecv(TagMatcher(tag="quickstart"), (buf, SIZE))
+        got = yield req.event
+        done["received"] = got.nbytes
+
+    def tx():
+        yield from sender.open()
+        buf = yield from sender_task.syscall("mmap", SIZE)
+        while receiver.addr is None:
+            yield sim.timeout(1e-6)
+        t0 = sim.now
+        yield from sender.mq_send(receiver.addr, "quickstart", buf, SIZE)
+        done["elapsed"] = sim.now - t0
+
+    p_rx = sim.process(rx())
+    sim.process(tx())
+    sim.run(until=p_rx)
+    sim.run()
+    assert done["received"] == SIZE
+    return done["elapsed"], machine.tracer.get_mean("hfi.sdma_desc_bytes")
+
+
+def main():
+    print(f"Sending one {SIZE // MiB}MB message node 0 -> node 1\n")
+    print(f"{'configuration':16s} {'elapsed':>10s} {'bandwidth':>12s} "
+          f"{'mean SDMA descriptor':>22s}")
+    baseline = None
+    for config in ALL_CONFIGS:
+        machine = build_machine(2, config)
+        elapsed, desc = transfer(machine)
+        bw = SIZE / elapsed / 1e9
+        if baseline is None:
+            baseline = elapsed
+        print(f"{config.label:16s} {fmt_time(elapsed):>10s} "
+              f"{bw:9.2f}GB/s {desc:18.0f}B "
+              f"({elapsed / baseline * 100:.0f}% of Linux time)")
+    print("\nThe Linux HFI1 driver chops every transfer into 4KB SDMA")
+    print("requests (it cannot assume physical contiguity); offloading those")
+    print("syscalls over IKC makes McKernel slower still.  The HFI")
+    print("PicoDriver walks McKernel's pinned, contiguous page tables and")
+    print("submits 10KB requests from the LWK core - no offload, fewer")
+    print("descriptors, higher bandwidth (the paper's Figure 4).")
+
+
+if __name__ == "__main__":
+    main()

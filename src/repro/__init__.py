@@ -1,0 +1,28 @@
+"""PicoDriver (HPDC'18) reproduction.
+
+A simulation-based rebuild of *PicoDriver: Fast-path Device Drivers for
+Multi-kernel Operating Systems* (Gerofi, Santogidis, Martinet, Ishikawa):
+the IHK/McKernel multi-kernel, the Intel OmniPath software stack, the
+PicoDriver framework and the paper's entire evaluation, as executable
+models.  See README.md for a tour and DESIGN.md for the inventory.
+
+Most users want:
+
+* :func:`repro.experiments.build_machine` — assemble a simulated cluster
+  under one of the three OS configurations and drive it through the
+  detailed discrete-event stack;
+* :func:`repro.cluster.simulate_app` — evaluate a CORAL application
+  signature at up to 256 nodes with the calibrated macro model;
+* :mod:`repro.experiments` — regenerate any of the paper's tables and
+  figures (also ``python -m repro <fig4|...|table1|sloc|all>``).
+"""
+
+from .config import ALL_CONFIGS, OSConfig
+from .params import Params, default_params
+
+__version__ = "1.0.0"
+__paper__ = ("PicoDriver: Fast-path Device Drivers for Multi-kernel "
+             "Operating Systems, HPDC'18")
+
+__all__ = ["ALL_CONFIGS", "OSConfig", "Params", "default_params",
+           "__paper__", "__version__"]

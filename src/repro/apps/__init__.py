@@ -1,0 +1,29 @@
+"""Benchmarks and mini-applications (paper section 4.2).
+
+Each CORAL proxy app is described once, as an :class:`~repro.apps.base.AppSpec`
+communication signature (ranks/threads geometry, compute per iteration, and
+a sequence of per-iteration communication phases).  The same signature
+drives both execution backends:
+
+* the **micro** driver (:func:`repro.apps.base.run_micro`) interprets the
+  signature through the real MPI/PSM/driver stack in the discrete-event
+  simulator — used for small scales and integration tests;
+* the **macro** cluster model (:mod:`repro.cluster`) evaluates the
+  signature in closed form at up to 256 nodes / 16K ranks — used to
+  regenerate Figures 5-9 and Table 1.
+"""
+
+from .base import (AppSpec, CollectivePhase, FileIO, HaloExchange,
+                   MemChurn, SweepPhase, run_micro)
+from .imb import PingPing, PingPong, SendRecv
+from .lammps import LAMMPS
+from .nekbone import NEKBONE
+from .umt import UMT2013
+from .hacc import HACC
+from .qbox import QBOX
+
+ALL_APPS = {app.name: app for app in (LAMMPS, NEKBONE, UMT2013, HACC, QBOX)}
+
+__all__ = ["ALL_APPS", "AppSpec", "CollectivePhase", "FileIO", "HACC",
+           "HaloExchange", "LAMMPS", "MemChurn", "NEKBONE", "PingPing", "PingPong", "SendRecv",
+           "QBOX", "SweepPhase", "UMT2013", "run_micro"]

@@ -1,0 +1,28 @@
+"""LAMMPS proxy: classical molecular dynamics (paper section 4.2).
+
+Run configuration from the paper: weak scaling, **64 MPI ranks per node,
+2 OpenMP threads per rank**.  Communication per timestep is spatial-
+decomposition halo exchange (6 neighbors, modest message sizes that stay
+on the PIO path) plus a small energy reduction.  Because almost nothing
+touches the device driver, LAMMPS is the paper's "no regression" control:
+McKernel performs like Linux with or without the PicoDriver (Figure 5a).
+"""
+
+from ..units import KiB
+from .base import AppSpec, CollectivePhase, HaloExchange
+
+LAMMPS = AppSpec(
+    name="LAMMPS",
+    ranks_per_node=64,
+    threads_per_rank=2,
+    iterations=10,
+    compute_seconds=30e-3,
+    phases=(
+        # forward + reverse communication of ghost atoms (PIO-sized)
+        HaloExchange(neighbors=6, msg_bytes=40 * KiB, rounds=2),
+        # thermodynamic output reduction
+        CollectivePhase("allreduce", nbytes=64),
+    ),
+    imbalance_cv=0.03,
+    lwk_compute_factor=1.0,
+)

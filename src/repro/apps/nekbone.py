@@ -1,0 +1,27 @@
+"""Nekbone proxy: spectral-element CG solver (paper section 4.2).
+
+Run configuration from the paper: weak scaling, **32 MPI ranks per node,
+4 OpenMP threads per rank**.  Each conjugate-gradient iteration does
+nearest-neighbor gather/scatter (small, PIO) plus several global dot
+products — latency-bound allreduces that synchronize every rank.  Those
+reductions amplify Linux's residual noise at scale, which is why the
+original McKernel already shows a small win (Figure 5b).
+"""
+
+from ..units import KiB
+from .base import AppSpec, CollectivePhase, HaloExchange
+
+NEKBONE = AppSpec(
+    name="Nekbone",
+    ranks_per_node=32,
+    threads_per_rank=4,
+    iterations=12,
+    compute_seconds=25e-3,
+    phases=(
+        HaloExchange(neighbors=6, msg_bytes=24 * KiB),
+        # CG dot products: 3 global reductions per iteration
+        CollectivePhase("allreduce", nbytes=8, count=3),
+    ),
+    imbalance_cv=0.005,
+    lwk_compute_factor=0.99,
+)

@@ -1,0 +1,36 @@
+"""QBOX proxy: first-principles molecular dynamics / DFT (section 4.2).
+
+Run configuration from the paper: weak scaling, **32 MPI ranks per node,
+4 OpenMP threads per rank**; input decks only exist for 4+ nodes, so
+Figure 7's x-axis starts at 4.  QBOX's communication is dense linear
+algebra over process grids: large broadcasts of wavefunction panels,
+alltoallv transposes within column groups, and global reductions — plus
+heavy temporary-buffer churn (mmap/munmap every iteration), which is why
+``munmap`` dominates the residual kernel time once the PicoDriver removes
+the writev/ioctl cost (Figure 9) and why the paper flags McKernel memory
+management as future work.
+"""
+
+from ..units import KiB, MiB
+from .base import AppSpec, CollectivePhase, FileIO, MemChurn
+
+QBOX = AppSpec(
+    name="QBOX",
+    ranks_per_node=32,
+    threads_per_rank=4,
+    iterations=10,
+    compute_seconds=30e-3,
+    phases=(
+        # wavefunction panel broadcasts down the process-grid columns
+        CollectivePhase("bcast", nbytes=128 * KiB, count=5),
+        # transpose within column groups of 32 ranks
+        CollectivePhase("alltoallv", nbytes=24 * KiB, count=2, scope=32),
+        CollectivePhase("allreduce", nbytes=8, count=20),
+        # temporary work arrays for the dense solvers
+        MemChurn(mmaps=6, nbytes=2 * MiB),
+        FileIO(reads=2),
+    ),
+    imbalance_cv=0.03,
+    lwk_compute_factor=0.80,
+    min_nodes=4,
+)

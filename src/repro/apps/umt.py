@@ -1,0 +1,38 @@
+"""UMT2013 proxy: deterministic (Sn) radiation transport (section 4.2).
+
+Run configuration from the paper: weak scaling, **32 MPI ranks per node,
+4 OpenMP threads per rank**.  The dominant pattern is the *transport
+sweep*: wavefronts of angle/energy-group work propagate through the
+spatial decomposition, so each stage's message must arrive before the
+downstream rank can proceed — communication is dependency-chained, and
+message sizes sit squarely in the SDMA/expected-receive regime.
+
+That chain is what makes UMT the paper's worst case for syscall
+offloading: every hop serializes a writev (sender) and TID registration
+(receiver) through the 4 Linux CPUs shared by 32 ranks, and per-call
+queueing/context-switch inflation lands directly on the critical path —
+UMT on the original McKernel drops below 20% of Linux beyond 4 nodes
+(Figure 6a), while the top McKernel MPI time shifts into MPI_Wait
+(Table 1) and ioctl+writev dominate kernel time (Figure 8).
+"""
+
+from ..units import KiB
+from .base import AppSpec, CollectivePhase, FileIO, SweepPhase
+
+UMT2013 = AppSpec(
+    name="UMT2013",
+    ranks_per_node=32,
+    threads_per_rank=4,
+    iterations=8,
+    compute_seconds=35e-3,
+    phases=(
+        # sweep: stages of angle-set pipelining, expected-receive sized
+        SweepPhase(stages=22, msg_bytes=224 * KiB, active_fraction=1.0),
+        # flux iteration convergence check
+        CollectivePhase("barrier"),
+        CollectivePhase("allreduce", nbytes=8),
+        FileIO(reads=2),
+    ),
+    imbalance_cv=0.045,          # sweep pipeline fill/drain imbalance
+    lwk_compute_factor=0.94,
+)

@@ -1,0 +1,39 @@
+"""The three operating-system configurations the paper evaluates."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class OSConfig(Enum):
+    """Which OS stack runs the application ranks."""
+
+    #: Fujitsu's HPC-optimized production Linux (nohz_full app cores).
+    LINUX = "linux"
+    #: Original IHK/McKernel: all device-driver syscalls offloaded.
+    MCKERNEL = "mckernel"
+    #: McKernel with the HFI PicoDriver fast path.
+    MCKERNEL_HFI = "mckernel_hfi"
+
+    @property
+    def is_multikernel(self) -> bool:
+        return self is not OSConfig.LINUX
+
+    @property
+    def has_picodriver(self) -> bool:
+        return self is OSConfig.MCKERNEL_HFI
+
+    @property
+    def noisy_app_cores(self) -> bool:
+        """Only Linux app cores see residual OS noise; LWK cores are
+        tickless and isolated."""
+        return self is OSConfig.LINUX
+
+    @property
+    def label(self) -> str:
+        return {OSConfig.LINUX: "Linux",
+                OSConfig.MCKERNEL: "McKernel",
+                OSConfig.MCKERNEL_HFI: "McKernel+HFI1"}[self]
+
+
+ALL_CONFIGS = (OSConfig.LINUX, OSConfig.MCKERNEL, OSConfig.MCKERNEL_HFI)

@@ -1,0 +1,236 @@
+"""Kernel virtual address space layouts and their unification (Figure 3).
+
+McKernel runs its own ELF image with its own virtual-to-physical mappings.
+Before PicoDriver, its layout collided with Linux (kernel images at the same
+address) and disagreed with it (direct map of physical memory at a different
+base) — so a pointer to a Linux ``kmalloc`` object was *not dereferenceable*
+from McKernel, and Linux could not call McKernel functions.
+
+The unification applies the paper's three modifications (section 3.1):
+
+1. move the McKernel image to the top of the Linux module space, so the
+   TEXT/DATA/BSS segments of the two kernels never overlap;
+2. shift McKernel's direct mapping of physical memory to the Linux base
+   (``0xFFFF880000000000``), so any ``kmalloc`` pointer is valid in both
+   kernels;
+3. map McKernel's ELF image into Linux (at LWK boot), so Linux can invoke
+   callback functions living in McKernel TEXT.
+
+Every cross-kernel dereference in the simulator is checked against these
+layouts — accessing a Linux driver structure from McKernel without the
+unified layout raises :class:`~repro.errors.PageFault`, exactly the failure
+the paper's design removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import LayoutError, PageFault
+
+# --- Figure 3 constants (x86_64, 48-bit addressing) -------------------------
+
+USER_START = 0x0000_0000_0000_0000
+USER_END = 0x0000_7FFF_FFFF_FFFF
+
+LINUX_DIRECT_MAP_BASE = 0xFFFF_8800_0000_0000
+LINUX_DIRECT_MAP_SIZE = 64 << 40                      # 64TB
+
+MCK_ORIG_DIRECT_MAP_BASE = 0xFFFF_8000_0000_0000
+MCK_ORIG_DIRECT_MAP_SIZE = 256 << 30                  # 256GB
+
+LINUX_VMALLOC_BASE = 0xFFFF_C900_0000_0000
+LINUX_VMALLOC_SIZE = 32 << 40
+
+MCK_UNIFIED_VALLOC_BASE = 0xFFFF_C800_0000_0000       # below Linux vmalloc
+MCK_UNIFIED_VALLOC_SIZE = 1 << 40
+
+LINUX_TEXT_BASE = 0xFFFF_FFFF_8000_0000
+LINUX_TEXT_SIZE = 0x2000_0000                          # 512MB
+
+MODULE_SPACE_BASE = 0xFFFF_FFFF_A000_0000
+MODULE_SPACE_END = 0xFFFF_FFFF_FF5F_FFFF
+
+MCK_IMAGE_SIZE = 0x60_0000                             # 6MB LWK image
+#: unified location: the *top* of the Linux module space
+MCK_UNIFIED_TEXT_BASE = MODULE_SPACE_END + 1 - MCK_IMAGE_SIZE
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named virtual address range ``[start, start+size)``."""
+
+    name: str
+    start: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size
+
+    def contains(self, addr: int) -> bool:
+        """True if ``addr`` falls inside this region."""
+        return self.start <= addr < self.end
+
+    def overlaps(self, other: "Region") -> bool:
+        """True if the two regions share any address."""
+        return self.start < other.end and other.start < self.end
+
+    def __repr__(self) -> str:
+        return f"<Region {self.name} [{self.start:#018x}, {self.end:#018x})>"
+
+
+class KernelAddressSpace:
+    """The set of regions a kernel maps, plus foreign mappings added by
+    the unification (e.g. McKernel's image mapped into Linux)."""
+
+    def __init__(self, kernel: str, regions: List[Region]):
+        self.kernel = kernel
+        self.regions: Dict[str, Region] = {}
+        for region in regions:
+            self.add_region(region)
+
+    def add_region(self, region: Region) -> None:
+        """Install a region, rejecting overlaps and duplicates."""
+        if region.name in self.regions:
+            raise LayoutError(f"{self.kernel}: duplicate region {region.name}")
+        for existing in self.regions.values():
+            if region.overlaps(existing):
+                raise LayoutError(
+                    f"{self.kernel}: region {region.name} overlaps "
+                    f"{existing.name}")
+        self.regions[region.name] = region
+
+    def replace_region(self, name: str, new: Region) -> None:
+        """Swap a named region for a new range (layout modification)."""
+        if name not in self.regions:
+            raise LayoutError(f"{self.kernel}: no region {name} to replace")
+        del self.regions[name]
+        self.add_region(new)
+
+    def region_of(self, addr: int) -> Optional[Region]:
+        """The region mapping ``addr``, or None."""
+        for region in self.regions.values():
+            if region.contains(addr):
+                return region
+        return None
+
+    def check_access(self, addr: int, why: str = "") -> Region:
+        """Raise :class:`PageFault` unless ``addr`` is mapped here."""
+        region = self.region_of(addr)
+        if region is None:
+            raise PageFault(self.kernel, addr, why or "address not mapped")
+        return region
+
+    def can_access(self, addr: int) -> bool:
+        """True if ``addr`` is mapped in this kernel."""
+        return self.region_of(addr) is not None
+
+    def shared_regions(self, other: "KernelAddressSpace") -> List[Tuple[Region, Region]]:
+        """Pairs of same-range regions mapped identically in both spaces."""
+        out = []
+        for mine in self.regions.values():
+            for theirs in other.regions.values():
+                if mine.start == theirs.start and mine.size == theirs.size:
+                    out.append((mine, theirs))
+        return out
+
+
+def linux_layout() -> KernelAddressSpace:
+    """Linux x86_64 layout (Figure 3, left)."""
+    return KernelAddressSpace("linux", [
+        Region("user", USER_START, USER_END + 1),
+        Region("direct_map", LINUX_DIRECT_MAP_BASE, LINUX_DIRECT_MAP_SIZE),
+        Region("vmalloc", LINUX_VMALLOC_BASE, LINUX_VMALLOC_SIZE),
+        Region("kernel_image", LINUX_TEXT_BASE, LINUX_TEXT_SIZE),
+        Region("module_space", MODULE_SPACE_BASE,
+               MODULE_SPACE_END + 1 - MODULE_SPACE_BASE),
+    ])
+
+
+def mckernel_original_layout() -> KernelAddressSpace:
+    """The pre-PicoDriver McKernel layout (Figure 3, middle): image at the
+    same address as Linux's, direct map at its own base."""
+    return KernelAddressSpace("mckernel", [
+        Region("user", USER_START, USER_END + 1),
+        Region("direct_map", MCK_ORIG_DIRECT_MAP_BASE,
+               MCK_ORIG_DIRECT_MAP_SIZE),
+        Region("kernel_image", LINUX_TEXT_BASE, MCK_IMAGE_SIZE),
+        Region("virtual_alloc", LINUX_VMALLOC_BASE, LINUX_VMALLOC_SIZE),
+    ])
+
+
+def mckernel_unified_layout() -> KernelAddressSpace:
+    """The PicoDriver-ready McKernel layout (Figure 3, right)."""
+    return KernelAddressSpace("mckernel", [
+        Region("user", USER_START, USER_END + 1),
+        Region("direct_map", LINUX_DIRECT_MAP_BASE, LINUX_DIRECT_MAP_SIZE),
+        Region("kernel_image", MCK_UNIFIED_TEXT_BASE, MCK_IMAGE_SIZE),
+        Region("virtual_alloc", MCK_UNIFIED_VALLOC_BASE,
+               MCK_UNIFIED_VALLOC_SIZE),
+        #: Linux's module space mapped so driver code/data is reachable
+        Region("linux_module_space", MODULE_SPACE_BASE,
+               MCK_UNIFIED_TEXT_BASE - MODULE_SPACE_BASE),
+    ])
+
+
+def unify_address_spaces(linux: KernelAddressSpace,
+                         mckernel: KernelAddressSpace) -> None:
+    """Apply the three section-3.1 modifications in place.
+
+    ``mckernel`` must be an original-style layout; after the call it has the
+    unified layout and ``linux`` additionally maps the McKernel image
+    (established at LWK boot via Linux's ``vmap_area`` reservation).
+    """
+    # 1. move the LWK image to the top of the Linux module space
+    mckernel.replace_region(
+        "kernel_image",
+        Region("kernel_image", MCK_UNIFIED_TEXT_BASE, MCK_IMAGE_SIZE))
+    # 2. shift the direct mapping to the Linux base
+    mckernel.replace_region(
+        "direct_map",
+        Region("direct_map", LINUX_DIRECT_MAP_BASE, LINUX_DIRECT_MAP_SIZE))
+    # keep the dynamic range out of Linux's way too
+    if "virtual_alloc" in mckernel.regions:
+        mckernel.replace_region(
+            "virtual_alloc",
+            Region("virtual_alloc", MCK_UNIFIED_VALLOC_BASE,
+                   MCK_UNIFIED_VALLOC_SIZE))
+    # make the Linux module space (where the HFI1 driver lives) reachable
+    if "linux_module_space" not in mckernel.regions:
+        mckernel.add_region(
+            Region("linux_module_space", MODULE_SPACE_BASE,
+                   MCK_UNIFIED_TEXT_BASE - MODULE_SPACE_BASE))
+    # 3. map the McKernel ELF image into Linux. The image sits inside the
+    # module space Linux already maps, so record it as a named sub-view by
+    # replacing the tail of the module space.
+    if "mckernel_image" not in linux.regions:
+        module_space = linux.regions["module_space"]
+        linux.replace_region(
+            "module_space",
+            Region("module_space", module_space.start,
+                   MCK_UNIFIED_TEXT_BASE - module_space.start))
+        linux.add_region(
+            Region("mckernel_image", MCK_UNIFIED_TEXT_BASE, MCK_IMAGE_SIZE))
+    validate_unification(linux, mckernel)
+
+
+def validate_unification(linux: KernelAddressSpace,
+                         mckernel: KernelAddressSpace) -> None:
+    """Check the three PicoDriver requirements; raise LayoutError if any
+    is violated (used by the machine builder before registering drivers)."""
+    l_img = linux.regions["kernel_image"]
+    m_img = mckernel.regions["kernel_image"]
+    if l_img.overlaps(m_img):
+        raise LayoutError("kernel images overlap: "
+                          f"{l_img} vs {m_img}")
+    l_dm = linux.regions["direct_map"]
+    m_dm = mckernel.regions["direct_map"]
+    if (l_dm.start, l_dm.size) != (m_dm.start, m_dm.size):
+        raise LayoutError(
+            f"direct maps disagree: linux {l_dm} vs mckernel {m_dm} — "
+            f"kmalloc pointers are not mutually dereferenceable")
+    if not linux.can_access(m_img.start):
+        raise LayoutError("Linux cannot see McKernel TEXT — completion "
+                          "callbacks would fault")

@@ -1,0 +1,73 @@
+"""Cross-kernel callback functions (paper section 3.3).
+
+SDMA completion IRQs land on Linux CPUs, but McKernel-initiated transfers
+carry completion callbacks whose *code lives in McKernel's TEXT* (the
+deallocation routine must be McKernel's ``kfree``).  Linux can only invoke
+such a function pointer if McKernel's ELF image is mapped in Linux — the
+third unification requirement.  The registry models function pointers as
+addresses inside the owning kernel's image region and enforces that check
+on every invocation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from ..errors import PageFault, ReproError
+from .address_space import KernelAddressSpace
+
+
+class CallbackRegistry:
+    """Function pointers with address-space-checked invocation."""
+
+    def __init__(self, aspaces: Dict[str, KernelAddressSpace]):
+        self.aspaces = dict(aspaces)
+        self._by_addr: Dict[int, Tuple[str, Callable]] = {}
+        self._next_slot: Dict[str, int] = {k: 0 for k in aspaces}
+
+    def register(self, kernel: str, fn: Callable) -> int:
+        """Place ``fn`` in ``kernel``'s TEXT; returns its address."""
+        if kernel not in self.aspaces:
+            raise ReproError(f"unknown kernel {kernel!r}")
+        image = self.aspaces[kernel].regions.get("kernel_image")
+        if image is None:
+            raise ReproError(f"{kernel} has no kernel_image region")
+        slot = self._next_slot[kernel]
+        addr = image.start + 0x1000 + slot * 16  # past the ELF header
+        if addr >= image.end:
+            raise ReproError(f"{kernel} TEXT exhausted for callbacks")
+        self._next_slot[kernel] = slot + 1
+        self._by_addr[addr] = (kernel, fn)
+        return addr
+
+    def invoke(self, caller_kernel: str, addr: int, *args, **kwargs):
+        """Call the function at ``addr`` from ``caller_kernel``'s context.
+
+        Raises :class:`PageFault` if the caller does not map the address —
+        e.g. Linux invoking a McKernel callback before the LWK image was
+        mapped at boot.
+        """
+        if caller_kernel not in self.aspaces:
+            raise ReproError(f"unknown caller kernel {caller_kernel!r}")
+        entry = self._by_addr.get(addr)
+        if entry is None:
+            raise ReproError(f"no callback registered at {addr:#x}")
+        owner = entry[0]
+        region = self.aspaces[caller_kernel].check_access(
+            addr, f"callback owned by {owner}")
+        if caller_kernel != owner and owner not in region.name:
+            # the address is mapped, but to the *caller's* image (the
+            # pre-unification overlap of Figure 3): jumping there would
+            # execute unrelated code
+            raise PageFault(
+                caller_kernel, addr,
+                f"region {region.name!r} is not a mapping of {owner}'s "
+                f"image — address spaces not unified")
+        return entry[1](*args, **kwargs)
+
+    def owner_of(self, addr: int) -> str:
+        """Which kernel's TEXT holds the callback at ``addr``."""
+        entry = self._by_addr.get(addr)
+        if entry is None:
+            raise ReproError(f"no callback registered at {addr:#x}")
+        return entry[0]

@@ -1,0 +1,128 @@
+"""The PicoDriver framework: fast-path/slow-path device driver splitting.
+
+A :class:`PicoDriver` is the small, LWK-resident part of a device driver.
+For each device-file syscall the LWK asks the driver whether it *claims*
+the call (e.g. the HFI PicoDriver claims ``writev`` and exactly three of
+the driver's dozen-plus ``ioctl`` commands); claimed calls run locally on
+the LWK core, everything else is transparently offloaded to the unmodified
+Linux driver (paper section 3).
+
+The framework enforces the porting prerequisites at attach time:
+
+* the kernel virtual address spaces must be unified (section 3.1) — the
+  fast path dereferences Linux driver structures;
+* structure layouts must come from DWARF extraction of the *loaded* Linux
+  module binary (section 3.2) — attaching against a module whose version
+  differs from the extraction source is refused;
+* completion callbacks must be registered in LWK TEXT through the
+  cross-kernel callback registry (section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import DriverError
+from .address_space import KernelAddressSpace, validate_unification
+from .extract import ExtractedLayout
+
+
+@dataclass(frozen=True)
+class FastPathDecision:
+    """Outcome of asking a PicoDriver about one syscall invocation."""
+
+    handled: bool
+    reason: str = ""
+
+    @classmethod
+    def claim(cls, reason: str = "fast path") -> "FastPathDecision":
+        return cls(True, reason)
+
+    @classmethod
+    def offload(cls, reason: str = "slow path") -> "FastPathDecision":
+        return cls(False, reason)
+
+
+class PicoDriver:
+    """Base class for LWK fast-path drivers.
+
+    Subclasses implement :meth:`claims` and one generator method per
+    claimed syscall named ``fast_<syscall>`` (e.g. ``fast_writev``).
+    """
+
+    #: device file path the driver serves, e.g. "/dev/hfi1_0"
+    device_path: str = ""
+
+    def claims(self, syscall: str, args: tuple) -> FastPathDecision:
+        """Decide whether this invocation runs on the fast path."""
+        raise NotImplementedError
+
+    def attach(self, lwk) -> None:
+        """Called when registered with an LWK; perform layout extraction
+        checks and driver-state mapping here."""
+
+    def fast_call(self, task, syscall: str, args: tuple):
+        """Dispatch to the ``fast_<syscall>`` generator."""
+        handler = getattr(self, f"fast_{syscall}", None)
+        if handler is None:
+            raise DriverError(
+                f"{type(self).__name__} claims {syscall} but implements "
+                f"no fast_{syscall}")
+        return handler(task, *args)
+
+    # -- attach-time verification helpers --------------------------------
+
+    @staticmethod
+    def require_unified(linux_aspace: KernelAddressSpace,
+                        lwk_aspace: KernelAddressSpace) -> None:
+        """Fast paths dereference Linux structures; refuse to attach on a
+        non-unified layout rather than fault at runtime."""
+        validate_unification(linux_aspace, lwk_aspace)
+
+    @staticmethod
+    def require_layout_version(layout: ExtractedLayout,
+                               module_version: str) -> None:
+        """DWARF layouts are only valid for the module they came from."""
+        if layout.source_version != module_version:
+            raise DriverError(
+                f"layout for {layout.struct_name} extracted from "
+                f"v{layout.source_version} but loaded module is "
+                f"v{module_version}; re-run dwarf-extract-struct")
+
+
+class PicoDriverRegistry:
+    """Per-LWK registry mapping device paths to their PicoDrivers."""
+
+    def __init__(self) -> None:
+        self._drivers: Dict[str, PicoDriver] = {}
+
+    def register(self, driver: PicoDriver) -> None:
+        """Register a driver for its device path (one per device)."""
+        if not driver.device_path:
+            raise DriverError(f"{type(driver).__name__} has no device_path")
+        if driver.device_path in self._drivers:
+            raise DriverError(
+                f"a PicoDriver is already registered for {driver.device_path}")
+        self._drivers[driver.device_path] = driver
+
+    def unregister(self, device_path: str) -> None:
+        """Remove the driver registered for ``device_path``."""
+        if device_path not in self._drivers:
+            raise DriverError(f"no PicoDriver for {device_path}")
+        del self._drivers[device_path]
+
+    def lookup(self, device_path: str) -> Optional[PicoDriver]:
+        """The PicoDriver for ``device_path``, or None."""
+        return self._drivers.get(device_path)
+
+    def decide(self, device_path: str, syscall: str,
+               args: tuple) -> FastPathDecision:
+        """Should this invocation run on the LWK fast path?"""
+        driver = self._drivers.get(device_path)
+        if driver is None:
+            return FastPathDecision.offload("no PicoDriver for device")
+        return driver.claims(syscall, args)
+
+    def __len__(self) -> int:
+        return len(self._drivers)

@@ -1,0 +1,111 @@
+"""Cross-kernel synchronization (paper section 3.3).
+
+Both kernels touch HFI driver state concurrently — Linux from offloaded
+syscalls and completion IRQs, McKernel from the PicoDriver fast path — so
+they must share locks.  The lock word lives in the shared kernel heap (the
+direct-mapped region both kernels address after unification) and the two
+kernels must run *compatible spin-lock implementations*; McKernel adopted
+the Linux x86_64 implementation, which the constructor enforces.
+
+In the discrete-event model, waiting for the lock burns CPU time (a spinner
+does not sleep — Linux cannot send wake-ups across kernel boundaries), and
+that spin time is accounted to the acquiring context.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import DriverError, ReproError
+from ..hw.memory import SharedHeap
+from ..sim import Resource, Simulator, Tracer
+from .address_space import KernelAddressSpace
+
+#: the one implementation both kernels must agree on
+LINUX_QSPINLOCK = "linux-x86_64-qspinlock"
+
+
+class CrossKernelSpinLock:
+    """A spin lock whose state word lives in shared kernel memory.
+
+    ``acquire``/``release`` are generators (simulation processes).  FIFO
+    fairness comes from the underlying queue; the heap word is maintained
+    for real so tests can observe lock state from either kernel's view.
+    """
+
+    def __init__(self, sim: Simulator, heap: SharedHeap, name: str = "lock",
+                 impl: str = LINUX_QSPINLOCK,
+                 tracer: Optional[Tracer] = None):
+        self.sim = sim
+        self.heap = heap
+        self.name = name
+        self.impl = impl
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.word_addr = heap.kmalloc(4)
+        heap.write_u(self.word_addr, 4, 0)
+        self._res = Resource(sim, capacity=1, name=name)
+        self._holder: Optional[str] = None
+        self._held_req = None
+
+    @property
+    def locked(self) -> bool:
+        return self.heap.read_u(self.word_addr, 4) != 0
+
+    @property
+    def holder(self) -> Optional[str]:
+        return self._holder
+
+    def acquire(self, kernel: str, aspace: KernelAddressSpace,
+                impl: str = LINUX_QSPINLOCK):
+        """Generator: spin until the lock is ours.
+
+        ``aspace`` is the acquiring kernel's address space — dereferencing
+        the lock word requires the shared direct mapping, so acquiring a
+        Linux-heap lock from a non-unified McKernel page-faults here, just
+        as it would on hardware.
+        """
+        if impl != self.impl:
+            raise DriverError(
+                f"spin-lock implementation mismatch on {self.name}: "
+                f"lock is {self.impl}, acquirer uses {impl}")
+        aspace.check_access(self.word_addr, f"spin-lock word of {self.name}")
+        t0 = self.sim.now
+        req = self._res.request()
+        yield req
+        spin = self.sim.now - t0
+        if spin > 0:
+            self.tracer.record(f"spin.{self.name}", spin)
+        self.heap.write_u(self.word_addr, 4, 1)
+        self._holder = kernel
+        self._held_req = req
+        return req
+
+    def release(self, kernel: str) -> None:
+        """Clear the lock word and wake the next FIFO waiter."""
+        if self._holder is None:
+            raise ReproError(f"release of unheld lock {self.name}")
+        if self._holder != kernel:
+            raise ReproError(
+                f"{kernel} releasing {self.name} held by {self._holder}")
+        self.heap.write_u(self.word_addr, 4, 0)
+        self._holder = None
+        req, self._held_req = self._held_req, None
+        self._res.release(req)
+
+    def held_by(self, kernel: str) -> bool:
+        """True if ``kernel`` currently holds the lock."""
+        return self._holder == kernel
+
+
+def rcu_synchronize(*_args, **_kwargs):
+    """Cross-kernel RCU is explicitly unsupported.
+
+    Paper section 3.3: "although we did not need it in this study, we
+    have not solved the problem of RCU locks, which we left for future
+    work."  A PicoDriver port that needs an RCU grace period spanning
+    both kernels must fail loudly rather than race silently.
+    """
+    raise NotImplementedError(
+        "cross-kernel RCU grace periods are unsupported (PicoDriver "
+        "future work, paper section 3.3); restructure the fast path to "
+        "use spin locks or defer the RCU-protected operation to Linux")

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the simulated machine and OS stack."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all simulator-domain errors."""
+
+
+class OutOfMemory(ReproError):
+    """A physical-frame or heap allocation could not be satisfied."""
+
+
+class PageFault(ReproError):
+    """An address was dereferenced that the accessing kernel does not map.
+
+    This is the error the PicoDriver's virtual-address-space unification
+    exists to prevent: before unification, McKernel dereferencing a Linux
+    ``kmalloc`` pointer faults (paper section 3.1).
+    """
+
+    def __init__(self, kernel: str, addr: int, why: str = ""):
+        self.kernel = kernel
+        self.addr = addr
+        super().__init__(
+            f"{kernel}: page fault dereferencing {addr:#018x}"
+            + (f" ({why})" if why else ""))
+
+
+class BadSyscall(ReproError):
+    """Invalid syscall number/arguments (simulated -EINVAL and friends)."""
+
+
+class DriverError(ReproError):
+    """Device-driver level failure (bad TID, ring overflow misuse, ...)."""
+
+
+class DwarfError(ReproError):
+    """Requested structure/field not found in DWARF debug information."""
+
+
+class LayoutError(ReproError):
+    """Kernel virtual address space layout constraint violated."""

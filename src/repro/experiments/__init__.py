@@ -1,0 +1,21 @@
+"""Experiment harnesses: machine builders and one module per paper
+table/figure (see DESIGN.md section 3 for the index)."""
+
+from .common import Machine, MachineNode, build_machine
+from .contention import ContentionResult, run_contention
+from .fig4 import Fig4Result, run_fig4
+from .fig5 import run_fig5a, run_fig5b
+from .fig6 import run_fig6a, run_fig6b
+from .fig7 import run_fig7
+from .fig8_9 import Fig89Result, run_breakdown, run_fig8, run_fig9
+from .scaling import ScalingResult, run_scaling
+from .sloc import SlocResult, run_sloc
+from .table1 import Table1Result, run_table1
+
+__all__ = [
+    "ContentionResult", "Fig4Result", "Fig89Result", "Machine",
+    "MachineNode", "ScalingResult", "SlocResult", "Table1Result",
+    "build_machine", "run_breakdown", "run_contention", "run_fig4",
+    "run_fig5a", "run_fig5b", "run_fig6a", "run_fig6b", "run_fig7",
+    "run_fig8", "run_fig9", "run_scaling", "run_sloc", "run_table1",
+]

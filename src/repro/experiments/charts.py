@@ -1,0 +1,60 @@
+"""Plain-text charts for terminal output.
+
+The paper's figures are line/bar charts; these helpers render comparable
+ASCII views so ``python -m repro figN`` output resembles the original
+shape at a glance (series over a log-ish x axis, one glyph per
+configuration).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+#: per-series glyphs (Linux, McKernel, McKernel+HFI order by convention)
+GLYPHS = ("L", "m", "H", "*", "+")
+
+
+def ascii_chart(x_labels: Sequence[str],
+                series: Dict[str, List[float]],
+                height: int = 12,
+                y_label: str = "",
+                y_max: Optional[float] = None,
+                y_min: float = 0.0) -> str:
+    """Render one or more series as an ASCII scatter/line chart.
+
+    ``series`` maps a name to one value per ``x_labels`` entry.  Values
+    may be ``None`` (not run at that x).
+    """
+    names = list(series)
+    all_vals = [v for vals in series.values() for v in vals if v is not None]
+    if not all_vals:
+        return "(no data)"
+    top = y_max if y_max is not None else max(all_vals) * 1.05
+    bottom = y_min
+    span = top - bottom or 1.0
+    width = len(x_labels)
+    grid = [[" "] * width for _ in range(height)]
+    for si, name in enumerate(names):
+        glyph = GLYPHS[si % len(GLYPHS)]
+        for xi, value in enumerate(series[name]):
+            if value is None:
+                continue
+            level = int(round((min(max(value, bottom), top) - bottom)
+                              / span * (height - 1)))
+            row = height - 1 - level
+            cell = grid[row][xi]
+            grid[row][xi] = "#" if cell not in (" ", glyph) else glyph
+    lines = []
+    for row in range(height):
+        value_at = top - row * span / (height - 1)
+        axis = f"{value_at:8.1f} |"
+        lines.append(axis + "  ".join(grid[row]))
+    lines.append(" " * 9 + "-" * (3 * width - 2))
+    label_row = " " * 9
+    for label in x_labels:
+        label_row += f"{label:<3.3s}"
+    lines.append(label_row)
+    legend = "   ".join(f"{GLYPHS[i % len(GLYPHS)]}={name}"
+                        for i, name in enumerate(names))
+    header = (y_label + "\n") if y_label else ""
+    return header + "\n".join(lines) + "\n" + legend

@@ -1,0 +1,116 @@
+"""Machine builder: assemble simulated nodes in each OS configuration.
+
+* ``LINUX`` — ranks run on Linux application cores (nohz_full noise
+  profile), syscalls are native, the HFI1 driver is local.
+* ``MCKERNEL`` — IHK boots McKernel on the application cores (original
+  address-space layout); every device syscall offloads through IKC to the
+  few Linux OS cores.
+* ``MCKERNEL_HFI`` — as above, but the address spaces are unified and the
+  HFI PicoDriver is registered, so SDMA sends and TID registration run
+  locally on LWK cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..config import OSConfig
+from ..core.hfi_pico import HFIPicoDriver
+from ..errors import ReproError
+from ..hw.fabric import Fabric
+from ..hw.node import Node
+from ..ihk.manager import IhkManager
+from ..kernels.base import Task
+from ..linux.hfi1.debuginfo import CURRENT_VERSION
+from ..linux.hfi1.driver import Hfi1Driver
+from ..linux.kernel import LinuxKernel
+from ..params import Params, default_params
+from ..sim import RngFactory, Simulator, Tracer
+
+
+@dataclass
+class MachineNode:
+    """One assembled node: hardware + kernels + drivers."""
+
+    node: Node
+    linux: LinuxKernel
+    driver: Hfi1Driver
+    ihk: Optional[IhkManager] = None
+    mckernel: Optional[object] = None
+    pico: Optional[HFIPicoDriver] = None
+    ranks: List[Task] = field(default_factory=list)
+
+
+class Machine:
+    """A cluster of nodes under one OS configuration."""
+
+    def __init__(self, params: Params, n_nodes: int, os_config: OSConfig,
+                 driver_version: str = CURRENT_VERSION):
+        if n_nodes < 1:
+            raise ReproError("machine needs at least one node")
+        self.params = params
+        self.os_config = os_config
+        self.sim = Simulator()
+        self.tracer = Tracer()
+        self.rng = RngFactory(params.seed)
+        self.fabric = Fabric(self.sim, params.nic)
+        self.nodes: List[MachineNode] = []
+        for i in range(n_nodes):
+            self.nodes.append(self._build_node(i, driver_version))
+
+    def _build_node(self, node_id: int, driver_version: str) -> MachineNode:
+        node = Node(self.sim, self.params, node_id, tracer=self.tracer)
+        self.fabric.attach(node.hfi)
+        linux = LinuxKernel(
+            self.sim, self.params, node, self.rng,
+            noisy_app_cores=self.os_config.noisy_app_cores,
+            tracer=self.tracer if self.os_config is OSConfig.LINUX
+            else Tracer())
+        driver = Hfi1Driver(version=driver_version)
+        linux.load_driver(driver)
+        mnode = MachineNode(node=node, linux=linux, driver=driver)
+        if self.os_config.is_multikernel:
+            mnode.ihk = IhkManager(self.sim, self.params, node, linux)
+            mnode.mckernel = mnode.ihk.boot_mckernel(
+                n_cores=self.params.node.app_cores,
+                unified_address_space=self.os_config.has_picodriver)
+            # the LWK's syscall accounting is the paper's kernel profiler
+            mnode.mckernel.tracer = self.tracer
+            if self.os_config.has_picodriver:
+                mnode.pico = HFIPicoDriver(driver)
+                mnode.mckernel.register_picodriver(mnode.pico)
+        return mnode
+
+    # -- rank placement --------------------------------------------------------
+
+    def app_kernel(self, node_idx: int):
+        """The kernel application ranks run on for this configuration."""
+        mnode = self.nodes[node_idx]
+        return mnode.mckernel if self.os_config.is_multikernel else mnode.linux
+
+    def spawn_rank(self, node_idx: int, local_rank: int,
+                   global_rank: Optional[int] = None) -> Task:
+        """Create one application rank pinned to its own core."""
+        mnode = self.nodes[node_idx]
+        name = f"rank{global_rank if global_rank is not None else local_rank}"
+        rng = self.rng.stream("rank", node_idx, local_rank)
+        if self.os_config.is_multikernel:
+            core = mnode.mckernel.partition.cores[
+                local_rank % len(mnode.mckernel.partition.cores)].core_id
+            task = mnode.mckernel.spawn_process(name, core_id=core, rng=rng)
+        else:
+            app_cores = [c for c in mnode.node.cpus
+                         if c.core_id >= self.params.node.os_cores]
+            core = app_cores[local_rank % len(app_cores)].core_id
+            task = mnode.linux.spawn_task(name, core, rng)
+        mnode.ranks.append(task)
+        return task
+
+
+def build_machine(n_nodes: int, os_config: OSConfig,
+                  params: Optional[Params] = None,
+                  driver_version: str = CURRENT_VERSION) -> Machine:
+    """Convenience constructor with default calibration."""
+    return Machine(params if params is not None else default_params(),
+                   n_nodes, os_config, driver_version)

@@ -1,0 +1,73 @@
+"""Shared machinery for the application scaling figures (5, 6, 7).
+
+Each figure reports *relative performance to Linux* per node count, on
+the solver-loop figure of merit (the paper's applications "report figure
+of merit on a per-application basis ... instead of reporting absolute
+numbers we indicate relative performance to Linux").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..apps.base import AppSpec
+from ..cluster import MacroResult, simulate_app
+from ..config import ALL_CONFIGS, OSConfig
+from ..params import Params
+
+#: the paper's x-axis
+DEFAULT_NODE_COUNTS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+@dataclass
+class ScalingResult:
+    """Relative-performance series for one application."""
+
+    app: str
+    node_counts: Tuple[int, ...]
+    #: config -> {n_nodes: relative performance to Linux (1.0 = parity)}
+    relative: Dict[OSConfig, Dict[int, float]]
+    #: raw macro results for drill-down
+    raw: Dict[Tuple[OSConfig, int], MacroResult]
+
+    def series(self, config: OSConfig) -> List[float]:
+        """Relative-performance values of ``config`` over the node counts."""
+        return [self.relative[config][n] for n in self.node_counts]
+
+    def render(self, title: str = "", chart: bool = True) -> str:
+        """Plain-text table (and optional ASCII chart) of the series."""
+        lines = [title or f"{self.app}: relative performance to Linux (%)",
+                 f"{'nodes':>6s} " + " ".join(f"{c.label:>14s}"
+                                              for c in ALL_CONFIGS)]
+        for n in self.node_counts:
+            lines.append(f"{n:6d} " + " ".join(
+                f"{100 * self.relative[c][n]:14.1f}" for c in ALL_CONFIGS))
+        if chart:
+            from .charts import ascii_chart
+            series = {c.label: [100 * v for v in self.series(c)]
+                      for c in ALL_CONFIGS}
+            lines.append("")
+            lines.append(ascii_chart([str(n) for n in self.node_counts],
+                                     series, y_label="  % of Linux"))
+        return "\n".join(lines)
+
+
+def run_scaling(spec: AppSpec,
+                node_counts: Sequence[int] = DEFAULT_NODE_COUNTS,
+                params: Optional[Params] = None,
+                iterations: Optional[int] = None) -> ScalingResult:
+    """Weak-scaling sweep of one app over all three OS configurations."""
+    counts = tuple(n for n in node_counts if n >= spec.min_nodes)
+    raw: Dict[Tuple[OSConfig, int], MacroResult] = {}
+    relative: Dict[OSConfig, Dict[int, float]] = {c: {} for c in ALL_CONFIGS}
+    for n in counts:
+        for config in ALL_CONFIGS:
+            raw[(config, n)] = simulate_app(spec, n, config, params=params,
+                                            iterations=iterations)
+        linux_fom = raw[(OSConfig.LINUX, n)].figure_of_merit
+        for config in ALL_CONFIGS:
+            relative[config][n] = (raw[(config, n)].figure_of_merit
+                                   / linux_fom)
+    return ScalingResult(app=spec.name, node_counts=counts,
+                         relative=relative, raw=raw)

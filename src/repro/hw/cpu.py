@@ -1,0 +1,70 @@
+"""CPU cores and core-set partitioning.
+
+IHK partitions a node's cores between Linux and the LWK; cores assigned to
+McKernel are *offlined* from Linux's point of view (paper section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+
+@dataclass
+class Core:
+    """One logical CPU core."""
+
+    core_id: int
+    numa_domain: int = 0
+    #: Which kernel currently owns the core ("linux", "mckernel", None).
+    owner: Optional[str] = "linux"
+    #: True once IHK has offlined the core from Linux.
+    offlined: bool = False
+
+
+@dataclass
+class CpuSet:
+    """An ordered set of cores with partition bookkeeping."""
+
+    cores: List[Core] = field(default_factory=list)
+
+    @classmethod
+    def build(cls, n_cores: int, numa_domains: int = 1) -> "CpuSet":
+        per_domain = max(1, n_cores // max(1, numa_domains))
+        return cls([Core(i, numa_domain=min(i // per_domain, numa_domains - 1))
+                    for i in range(n_cores)])
+
+    def __len__(self) -> int:
+        return len(self.cores)
+
+    def __iter__(self) -> Iterator[Core]:
+        return iter(self.cores)
+
+    def __getitem__(self, idx: int) -> Core:
+        return self.cores[idx]
+
+    def owned_by(self, owner: str) -> List[Core]:
+        """Cores currently owned by ``owner``."""
+        return [c for c in self.cores if c.owner == owner]
+
+    def take(self, n: int, new_owner: str) -> List[Core]:
+        """Reassign the *last* ``n`` Linux-owned cores to ``new_owner``
+        (IHK takes cores from the tail; the first cores keep running
+        system daemons, paper section 4.1)."""
+        linux_cores = [c for c in self.cores if c.owner == "linux"]
+        if len(linux_cores) < n:
+            raise ValueError(
+                f"cannot take {n} cores: only {len(linux_cores)} Linux-owned")
+        taken = linux_cores[-n:]
+        for core in taken:
+            core.owner = new_owner
+            core.offlined = True
+        return taken
+
+    def give_back(self, cores: List[Core]) -> None:
+        """Return cores to Linux (IHK releasing resources dynamically)."""
+        for core in cores:
+            if core not in self.cores:
+                raise ValueError(f"core {core.core_id} not part of this set")
+            core.owner = "linux"
+            core.offlined = False

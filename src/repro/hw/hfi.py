@@ -1,0 +1,328 @@
+"""The Host Fabric Interface (HFI) network device.
+
+Models the pieces of Intel's OmniPath HFI that the paper's analysis hinges
+on (section 2.2):
+
+* a PIO send path driven entirely from user space (small messages),
+* 16 SDMA engines, each with a bounded descriptor ring; descriptors carry a
+  *physically contiguous* byte span and the hardware accepts spans up to
+  10KB — whether a driver exploits that is the whole point of Figure 4,
+* the RcvArray of expected-receive (TID) entries programmed via ``ioctl``,
+* completion interrupts delivered to the host when a submitted request
+  group finishes.
+
+Cost model: serializing a descriptor onto the link costs
+``sdma_desc_overhead + nbytes / link_bandwidth`` while holding the node's
+egress port; PIO costs ``pio_overhead + nbytes / pio_bandwidth``.  The
+per-descriptor overhead times the descriptor count is what separates a
+4KB-chopping driver from a 10KB-coalescing one.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..errors import DriverError, ReproError
+from ..params import NicParams
+from ..sim import Event, Resource, Simulator, Store, Tracer
+
+
+@dataclass(frozen=True)
+class SdmaDescriptor:
+    """One SDMA transfer request: a physically contiguous span."""
+
+    paddr: int
+    nbytes: int
+
+
+@dataclass
+class SdmaRequestGroup:
+    """All descriptors generated from one ``writev()`` call, plus the
+    completion callback the driver associated with the transfer
+    (section 2.2.2: callbacks perform notification and metadata cleanup)."""
+
+    descriptors: List[SdmaDescriptor]
+    packet: "Packet"
+    on_complete: Optional[Callable[["SdmaRequestGroup"], None]] = None
+    #: kernel that allocated the metadata (decides which kfree the
+    #: completion callback must use, section 3.3)
+    owner_kernel: str = "linux"
+    meta_addrs: List[int] = field(default_factory=list)
+    #: completion function *pointer* — an address in the owner kernel's
+    #: TEXT, invoked by the Linux IRQ handler through the cross-kernel
+    #: callback registry (used by the full driver stack; unit tests may
+    #: use the plain ``on_complete`` closure instead)
+    callback_addr: Optional[int] = None
+    #: opaque context threaded to the completion callback (completion
+    #: events, struct views, ...)
+    user_ctx: object = None
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(d.nbytes for d in self.descriptors)
+
+
+@dataclass(frozen=True)
+class TidEntry:
+    """One programmed RcvArray entry."""
+
+    tid: int
+    ctxt_id: int
+    paddr: int
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A logical message on the fabric (serialization is modeled at the
+    sender, so one packet represents the whole transfer)."""
+
+    kind: str              # "eager" | "expected" | "rts" | "cts"
+    src_node: int
+    dst_node: int
+    dst_ctxt: int
+    nbytes: int
+    tag: object = None
+    payload: object = None
+    tids: Tuple[int, ...] = ()
+
+
+class RcvContext:
+    """A receive context (one per open device file / PSM endpoint)."""
+
+    def __init__(self, ctxt_id: int, owner: str):
+        self.ctxt_id = ctxt_id
+        self.owner = owner
+        self.on_packet: Optional[Callable[[Packet], None]] = None
+        self.eager_backlog: Deque[Packet] = deque()
+
+    def deliver(self, packet: Packet) -> None:
+        """Hand a packet to the context's handler (or queue it)."""
+        if self.on_packet is not None:
+            self.on_packet(packet)
+        else:
+            self.eager_backlog.append(packet)
+
+
+class SdmaEngine:
+    """One SDMA engine: a bounded descriptor ring drained onto the link.
+
+    The engine drains its ring in batches while holding the egress port;
+    ring space is released as descriptors complete, unblocking submitters
+    (the driver blocks in ``writev`` when the ring is full).
+    """
+
+    def __init__(self, sim: Simulator, device: "HFIDevice", index: int):
+        self.sim = sim
+        self.device = device
+        self.index = index
+        self.ring_size = device.params.sdma_ring_size
+        self._ring: Deque[Tuple[SdmaDescriptor, SdmaRequestGroup, bool]] = deque()
+        self._space_waiters: Deque[Event] = deque()
+        self._work = Store(sim, name=f"sdma{index}.work")
+        self._proc = sim.process(self._run())
+        self.busy = False
+
+    @property
+    def free_slots(self) -> int:
+        return self.ring_size - len(self._ring)
+
+    def submit(self, group: SdmaRequestGroup):
+        """Generator: enqueue every descriptor of ``group``, blocking on
+        ring space.  Yields until fully submitted (completion is signalled
+        separately through the IRQ path)."""
+        if not group.descriptors:
+            raise DriverError("empty SDMA request group")
+        for desc in group.descriptors:
+            if desc.nbytes <= 0:
+                raise DriverError(f"bad descriptor size {desc.nbytes}")
+            if desc.nbytes > self.device.params.sdma_max_request:
+                raise DriverError(
+                    f"descriptor of {desc.nbytes}B exceeds hardware max "
+                    f"{self.device.params.sdma_max_request}B")
+        last_idx = len(group.descriptors) - 1
+        for i, desc in enumerate(group.descriptors):
+            while self.free_slots == 0:
+                waiter = Event(self.sim)
+                self._space_waiters.append(waiter)
+                yield waiter
+            self._ring.append((desc, group, i == last_idx))
+            if len(self._ring) == 1 and not self.busy:
+                self._work.put(None)  # kick the engine
+
+    def _run(self):
+        params = self.device.params
+        while True:
+            if not self._ring:
+                yield self._work.get()
+                continue
+            self.busy = True
+            # Drain the current ring contents in one serialization burst.
+            with self.device.egress.request() as port:
+                yield port
+                burst: List[Tuple[SdmaDescriptor, SdmaRequestGroup, bool]] = []
+                t = 0.0
+                while self._ring:
+                    desc, group, is_last = self._ring.popleft()
+                    burst.append((desc, group, is_last))
+                    t += params.sdma_desc_overhead + desc.nbytes / params.link_bandwidth
+                yield self.sim.timeout(t)
+            self.busy = False
+            for desc, group, is_last in burst:
+                self.device.tracer.count("hfi.sdma_descs")
+                self.device.tracer.record("hfi.sdma_desc_bytes", desc.nbytes)
+                if is_last:
+                    self.device._transmit(group.packet)
+                    self.device.raise_irq(group)
+            while self._space_waiters and self.free_slots > 0:
+                self._space_waiters.popleft().succeed()
+
+
+class HFIDevice:
+    """One HFI per node: PIO path, SDMA engines, RcvArray, IRQ line."""
+
+    def __init__(self, sim: Simulator, params: NicParams, node_id: int,
+                 tracer: Optional[Tracer] = None):
+        self.sim = sim
+        self.params = params
+        self.node_id = node_id
+        self.tracer = tracer if tracer is not None else Tracer()
+        #: the node's egress port (engines and PIO share it)
+        self.egress = Resource(sim, capacity=1, name=f"hfi{node_id}.egress")
+        self.engines = [SdmaEngine(sim, self, i)
+                        for i in range(params.sdma_engines)]
+        self._next_engine = 0
+        self._contexts: Dict[int, RcvContext] = {}
+        self._next_ctxt = 0
+        self._tid_entries: Dict[int, TidEntry] = {}
+        self._next_tid = 0
+        self.fabric = None  # set by Fabric.attach
+        #: installed by the Linux interrupt subsystem at driver load
+        self.irq_dispatcher: Optional[Callable[[SdmaRequestGroup], None]] = None
+
+    # -- contexts ----------------------------------------------------------
+
+    def alloc_context(self, owner: str) -> RcvContext:
+        """Allocate a receive context (one per open device file)."""
+        ctxt = RcvContext(self._next_ctxt, owner)
+        self._contexts[self._next_ctxt] = ctxt
+        self._next_ctxt += 1
+        return ctxt
+
+    def free_context(self, ctxt: RcvContext) -> None:
+        """Release a context and reclaim its TID entries."""
+        self._contexts.pop(ctxt.ctxt_id, None)
+        stale = [t for t, e in self._tid_entries.items()
+                 if e.ctxt_id == ctxt.ctxt_id]
+        for tid in stale:
+            del self._tid_entries[tid]
+
+    def context(self, ctxt_id: int) -> RcvContext:
+        """Look up a receive context by id."""
+        try:
+            return self._contexts[ctxt_id]
+        except KeyError:
+            raise DriverError(f"no receive context {ctxt_id}")
+
+    # -- SDMA ---------------------------------------------------------------
+
+    def pick_engine(self) -> SdmaEngine:
+        """Round-robin engine reservation (the driver 'reserves an SDMA
+        engine', section 2.2.2)."""
+        eng = self.engines[self._next_engine]
+        self._next_engine = (self._next_engine + 1) % len(self.engines)
+        return eng
+
+    # -- PIO ------------------------------------------------------------------
+
+    def pio_send(self, packet: Packet):
+        """Generator: programmed-I/O send executed in the caller's context
+        (user-space driven; no driver involvement)."""
+        if packet.nbytes > self.params.pio_threshold:
+            # PSM would never do this, but the hardware allows it; account
+            # honestly instead of rejecting.
+            self.tracer.count("hfi.pio_oversize")
+        with self.egress.request() as port:
+            yield port
+            yield self.sim.timeout(self.params.pio_overhead
+                                   + packet.nbytes / self.params.pio_bandwidth)
+        self.tracer.count("hfi.pio_msgs")
+        self._transmit(packet)
+
+    # -- RcvArray / TIDs -------------------------------------------------------
+
+    @property
+    def tids_in_use(self) -> int:
+        return len(self._tid_entries)
+
+    def program_tids(self, ctxt: RcvContext,
+                     spans: List[Tuple[int, int]]) -> List[TidEntry]:
+        """Program RcvArray entries for physically contiguous spans.
+
+        Each span must fit one entry (``tid_max_span``); callers split
+        larger spans first.  Raises when the RcvArray is exhausted.
+        """
+        if len(self._tid_entries) + len(spans) > self.params.rcv_array_entries:
+            raise DriverError(
+                f"RcvArray exhausted: {self.tids_in_use} in use, "
+                f"{len(spans)} requested, {self.params.rcv_array_entries} total")
+        entries = []
+        for paddr, nbytes in spans:
+            if nbytes <= 0:
+                raise DriverError(f"bad TID span size {nbytes}")
+            if nbytes > self.params.tid_max_span:
+                raise DriverError(
+                    f"TID span {nbytes}B exceeds entry max "
+                    f"{self.params.tid_max_span}B")
+            entry = TidEntry(self._next_tid, ctxt.ctxt_id, paddr, nbytes)
+            self._next_tid += 1
+            self._tid_entries[entry.tid] = entry
+            entries.append(entry)
+        self.tracer.count("hfi.tids_programmed", len(entries))
+        return entries
+
+    def unprogram_tids(self, tids: List[int]) -> None:
+        """Invalidate RcvArray entries (TID_FREE)."""
+        for tid in tids:
+            if tid not in self._tid_entries:
+                raise DriverError(f"unprogram of unknown TID {tid}")
+            del self._tid_entries[tid]
+        self.tracer.count("hfi.tids_unprogrammed", len(tids))
+
+    def tid_entry(self, tid: int) -> TidEntry:
+        """Look up a programmed RcvArray entry."""
+        try:
+            return self._tid_entries[tid]
+        except KeyError:
+            raise DriverError(f"unknown TID {tid}")
+
+    # -- fabric interface ---------------------------------------------------------
+
+    def _transmit(self, packet: Packet) -> None:
+        if self.fabric is None:
+            raise ReproError(f"HFI {self.node_id} not attached to a fabric")
+        self.tracer.record("hfi.tx_bytes", packet.nbytes)
+        self.fabric.transmit(packet)
+
+    def receive(self, packet: Packet) -> None:
+        """Called by the fabric when a packet arrives at this node."""
+        if packet.kind == "expected":
+            for tid in packet.tids:
+                self.tid_entry(tid)  # validates hardware state
+            self.tracer.count("hfi.rx_expected")
+        else:
+            self.tracer.count(f"hfi.rx_{packet.kind}")
+        self.context(packet.dst_ctxt).deliver(packet)
+
+    # -- interrupts -----------------------------------------------------------------
+
+    def raise_irq(self, group: SdmaRequestGroup) -> None:
+        """SDMA completion interrupt (section 2.2.2)."""
+        self.tracer.count("hfi.irq")
+        if self.irq_dispatcher is None:
+            raise ReproError(
+                f"HFI {self.node_id}: IRQ raised with no dispatcher "
+                f"(driver not loaded?)")
+        self.irq_dispatcher(group)

@@ -1,0 +1,324 @@
+"""Physical memory: frame allocation with contiguity policies, and a
+byte-addressable shared kernel heap.
+
+Two distinct facilities live here:
+
+* :class:`FrameAllocator` hands out physical page frames.  It supports the
+  two allocation personalities the paper contrasts: Linux anonymous memory
+  (fragmented 4KB frames) and McKernel anonymous memory (physically
+  contiguous runs / large pages, section 3.4).  The SDMA request size — the
+  heart of Figure 4 — falls directly out of the extents it returns.
+
+* :class:`SharedHeap` is the direct-mapped kernel heap (``kmalloc`` arena)
+  both kernels see after the PicoDriver virtual-address-space unification.
+  It is backed by a real ``bytearray`` so that Linux-driver structures
+  written on one side are *actually read back* byte-for-byte on the other
+  through DWARF-extracted offsets.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from ..errors import OutOfMemory, ReproError
+from ..units import PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A run of physically contiguous frames: ``count`` frames from
+    ``start`` (frame numbers, not byte addresses)."""
+
+    start: int
+    count: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.count
+
+    def byte_range(self, frame_size: int = PAGE_SIZE) -> Tuple[int, int]:
+        """(start, end) byte addresses of the extent."""
+        return self.start * frame_size, self.count * frame_size
+
+
+class FrameAllocator:
+    """First-fit extent allocator over ``total_frames`` physical frames.
+
+    Free space is a sorted list of disjoint ``[start, end)`` intervals.
+    All operations maintain the invariant that intervals are sorted,
+    non-empty and non-adjacent (adjacent intervals are merged on free).
+    """
+
+    def __init__(self, total_frames: int, frame_size: int = PAGE_SIZE,
+                 name: str = "mem", base_frame: int = 0):
+        if total_frames <= 0:
+            raise ReproError(f"total_frames must be positive: {total_frames}")
+        self.total_frames = total_frames
+        self.frame_size = frame_size
+        self.name = name
+        #: first frame number managed (IHK partitions hand an LWK a window
+        #: of the node's frames, keeping frame numbers globally meaningful)
+        self.base_frame = base_frame
+        self._free: List[List[int]] = [[base_frame, base_frame + total_frames]]
+        self.allocated_frames = 0
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def free_frames(self) -> int:
+        return self.total_frames - self.allocated_frames
+
+    def free_intervals(self) -> List[Tuple[int, int]]:
+        """Snapshot of the free list (for tests/inspection)."""
+        return [(s, e) for s, e in self._free]
+
+    def largest_free_run(self) -> int:
+        """Length of the longest contiguous free run, in frames."""
+        return max((e - s for s, e in self._free), default=0)
+
+    # -- allocation ----------------------------------------------------------
+
+    def alloc_contiguous(self, n_frames: int,
+                         align: int = 1) -> Extent:
+        """Allocate one physically contiguous run of ``n_frames`` frames,
+        start aligned to ``align`` frames (e.g. 512 for a 2MB page)."""
+        if n_frames <= 0:
+            raise ReproError(f"n_frames must be positive: {n_frames}")
+        for idx, (start, end) in enumerate(self._free):
+            aligned = -(-start // align) * align
+            if aligned + n_frames <= end:
+                self._carve(idx, aligned, aligned + n_frames)
+                return Extent(aligned, n_frames)
+        raise OutOfMemory(
+            f"{self.name}: no contiguous run of {n_frames} frames "
+            f"(align={align}, largest free run={self.largest_free_run()})")
+
+    def alloc(self, n_frames: int) -> List[Extent]:
+        """Allocate ``n_frames`` frames in as few extents as possible
+        (best-effort contiguity; splits across free intervals if needed)."""
+        if n_frames <= 0:
+            raise ReproError(f"n_frames must be positive: {n_frames}")
+        if n_frames > self.free_frames:
+            raise OutOfMemory(f"{self.name}: want {n_frames} frames, "
+                              f"only {self.free_frames} free")
+        got: List[Extent] = []
+        need = n_frames
+        # Greedy: repeatedly take the largest free interval.
+        while need > 0:
+            idx = max(range(len(self._free)),
+                      key=lambda i: self._free[i][1] - self._free[i][0])
+            start, end = self._free[idx]
+            take = min(need, end - start)
+            self._carve(idx, start, start + take)
+            got.append(Extent(start, take))
+            need -= take
+        return got
+
+    def alloc_scattered(self, n_frames: int,
+                        rng: np.random.Generator,
+                        contig_prob: float = 0.0) -> List[Extent]:
+        """Allocate ``n_frames`` as mostly *non*-contiguous frames — the
+        post-fragmentation Linux anonymous-memory personality.
+
+        Runs have geometric length with parameter ``contig_prob`` (expected
+        run ``1/(1-contig_prob)``), separated by single-frame holes.  One
+        sweep over the free list, O(n) in frames allocated.  Under memory
+        pressure the remainder is taken contiguously from the holes —
+        which is also what a real buddy allocator degrades to.
+        """
+        if n_frames <= 0:
+            raise ReproError(f"n_frames must be positive: {n_frames}")
+        if n_frames > self.free_frames:
+            raise OutOfMemory(f"{self.name}: want {n_frames} frames, "
+                              f"only {self.free_frames} free")
+        extents: List[Extent] = []
+        new_free: List[List[int]] = []
+        need = n_frames
+        # start the sweep at a random free interval so successive
+        # allocations land in different regions
+        rotation = int(rng.integers(0, len(self._free))) if self._free else 0
+        order = self._free[rotation:] + self._free[:rotation]
+        for start, end in order:
+            pos = start
+            while pos < end and need > 0:
+                run = 1
+                while (run < need and pos + run < end
+                       and rng.random() < contig_prob):
+                    run += 1
+                take = min(run, need, end - pos)
+                extents.append(Extent(pos, take))
+                need -= take
+                pos += take
+                if pos < end and need > 0:
+                    new_free.append([pos, pos + 1])  # leave a hole
+                    pos += 1
+            if pos < end:
+                new_free.append([pos, end])
+        if need > 0:
+            # memory pressure: fill from the holes we just left
+            for interval in new_free:
+                if need == 0:
+                    break
+                take = min(need, interval[1] - interval[0])
+                extents.append(Extent(interval[0], take))
+                interval[0] += take
+                need -= take
+        if need > 0:
+            raise OutOfMemory(f"{self.name}: accounting bug, "
+                              f"{need} frames short")
+        # rebuild the free list: sorted, merged, non-empty
+        new_free = sorted(iv for iv in new_free if iv[0] < iv[1])
+        merged: List[List[int]] = []
+        for iv in new_free:
+            if merged and merged[-1][1] == iv[0]:
+                merged[-1][1] = iv[1]
+            else:
+                merged.append(iv)
+        self._free = merged
+        self.allocated_frames += n_frames
+        return extents
+
+    # -- freeing -------------------------------------------------------------
+
+    def free(self, extents: Iterable[Extent]) -> None:
+        """Return extents to the free pool (must have been allocated)."""
+        for ext in extents:
+            self._free_one(ext)
+
+    def _free_one(self, ext: Extent) -> None:
+        if ext.count <= 0:
+            raise ReproError(f"freeing empty extent {ext}")
+        if ext.start < self.base_frame or \
+                ext.end > self.base_frame + self.total_frames:
+            raise ReproError(f"extent {ext} outside memory")
+        starts = [s for s, _ in self._free]
+        idx = bisect.bisect_right(starts, ext.start)
+        # Overlap checks against neighbours (double-free detection).
+        if idx > 0 and self._free[idx - 1][1] > ext.start:
+            raise ReproError(f"double free: {ext} overlaps free interval "
+                             f"{tuple(self._free[idx - 1])}")
+        if idx < len(self._free) and self._free[idx][0] < ext.end:
+            raise ReproError(f"double free: {ext} overlaps free interval "
+                             f"{tuple(self._free[idx])}")
+        self._free.insert(idx, [ext.start, ext.end])
+        self.allocated_frames -= ext.count
+        # Merge with neighbours.
+        if idx + 1 < len(self._free) and self._free[idx][1] == self._free[idx + 1][0]:
+            self._free[idx][1] = self._free[idx + 1][1]
+            del self._free[idx + 1]
+        if idx > 0 and self._free[idx - 1][1] == self._free[idx][0]:
+            self._free[idx - 1][1] = self._free[idx][1]
+            del self._free[idx]
+
+    # -- internals -------------------------------------------------------------
+
+    def _carve(self, idx: int, start: int, end: int) -> None:
+        """Remove ``[start, end)`` from free interval ``idx``."""
+        istart, iend = self._free[idx]
+        assert istart <= start and end <= iend
+        self.allocated_frames += end - start
+        pieces = []
+        if istart < start:
+            pieces.append([istart, start])
+        if end < iend:
+            pieces.append([end, iend])
+        self._free[idx:idx + 1] = pieces
+
+
+
+class SharedHeap:
+    """Byte-addressable kernel heap backed by a real ``bytearray``.
+
+    Addresses returned by :meth:`kmalloc` are *kernel virtual addresses*
+    (``base + offset``), matching the direct-mapping region both kernels
+    share after unification.  Reads and writes move real bytes, so
+    cross-kernel structure access through DWARF-extracted offsets is
+    exercised for real, not pretended.
+    """
+
+    def __init__(self, size: int, base: int = 0xFFFF_8800_0000_0000,
+                 name: str = "kheap"):
+        self.size = size
+        self.base = base
+        self.name = name
+        self._mem = bytearray(size)
+        self._brk = 0
+        self._live: Dict[int, int] = {}  # addr -> size
+        self._free_by_size: Dict[int, List[int]] = {}
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        """True if ``addr`` lies inside the heap's address range."""
+        return self.base <= addr < self.end
+
+    # -- allocation ------------------------------------------------------
+
+    def kmalloc(self, size: int, align: int = 8) -> int:
+        """Allocate ``size`` bytes, return the kernel virtual address."""
+        if size <= 0:
+            raise ReproError(f"kmalloc of non-positive size {size}")
+        bucket = self._free_by_size.get(self._round(size))
+        if bucket:
+            addr = bucket.pop()
+        else:
+            off = -(-self._brk // align) * align
+            if off + self._round(size) > self.size:
+                raise OutOfMemory(f"{self.name}: heap exhausted "
+                                  f"({self._brk}/{self.size} used)")
+            self._brk = off + self._round(size)
+            addr = self.base + off
+        self._live[addr] = size
+        self._mem[addr - self.base: addr - self.base + size] = bytes(size)
+        return addr
+
+    def kfree(self, addr: int) -> None:
+        """Free an allocation (size-class recycled)."""
+        size = self._live.pop(addr, None)
+        if size is None:
+            raise ReproError(f"{self.name}: kfree of unallocated {addr:#x}")
+        self._free_by_size.setdefault(self._round(size), []).append(addr)
+
+    def live_objects(self) -> int:
+        """Number of live allocations (leak checks)."""
+        return len(self._live)
+
+    # -- raw access ------------------------------------------------------
+
+    def read(self, addr: int, size: int) -> bytes:
+        """Read raw bytes at a kernel virtual address."""
+        self._check(addr, size)
+        off = addr - self.base
+        return bytes(self._mem[off: off + size])
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Write raw bytes at a kernel virtual address."""
+        self._check(addr, len(data))
+        off = addr - self.base
+        self._mem[off: off + len(data)] = data
+
+    def read_u(self, addr: int, size: int) -> int:
+        """Read a little-endian unsigned integer of ``size`` bytes."""
+        return int.from_bytes(self.read(addr, size), "little")
+
+    def write_u(self, addr: int, size: int, value: int) -> None:
+        """Write a little-endian unsigned integer of ``size`` bytes."""
+        self.write(addr, int(value).to_bytes(size, "little", signed=False))
+
+    def _check(self, addr: int, size: int) -> None:
+        if not (self.base <= addr and addr + size <= self.end):
+            raise ReproError(
+                f"{self.name}: access [{addr:#x}, +{size}) outside heap "
+                f"[{self.base:#x}, {self.end:#x})")
+
+    @staticmethod
+    def _round(size: int) -> int:
+        """Size-class rounding (power of two, min 16) like a slab allocator."""
+        size = max(size, 16)
+        return 1 << (size - 1).bit_length()

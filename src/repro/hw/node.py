@@ -1,0 +1,52 @@
+"""A KNL compute node chassis: cores, memories, kernel heap and the HFI.
+
+The node is pure hardware; kernels (Linux, McKernel) are attached on top by
+the machine builders in :mod:`repro.experiments.common`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..params import Params
+from ..sim import Simulator, Tracer
+from ..units import PAGE_SIZE
+from .cpu import CpuSet
+from .hfi import HFIDevice
+from .memory import FrameAllocator, SharedHeap
+
+#: Simulated physical memory is scaled down from the real 16GB+96GB so that
+#: allocator structures stay small; all experiments allocate well below it.
+SIM_MCDRAM_FRAMES = 256 * 1024   # 1 GiB of 4KB frames
+SIM_DDR_FRAMES = 512 * 1024      # 2 GiB
+
+
+class Node:
+    """One compute node: CPU set, MCDRAM + DDR frame pools, kernel heap,
+    and the HFI network device."""
+
+    def __init__(self, sim: Simulator, params: Params, node_id: int,
+                 tracer: Optional[Tracer] = None):
+        self.sim = sim
+        self.params = params
+        self.node_id = node_id
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.cpus = CpuSet.build(params.node.total_cores,
+                                 params.node.numa_domains)
+        self.mcdram = FrameAllocator(SIM_MCDRAM_FRAMES, PAGE_SIZE,
+                                     name=f"node{node_id}.mcdram")
+        self.ddr = FrameAllocator(SIM_DDR_FRAMES, PAGE_SIZE,
+                                  name=f"node{node_id}.ddr")
+        #: the direct-mapped kernel heap (kmalloc arena).  One per node;
+        #: *who may dereference it* is governed by each kernel's virtual
+        #: address space layout (repro.core.address_space).
+        self.kheap = SharedHeap(8 * 1024 * 1024,
+                                name=f"node{node_id}.kheap")
+        self.hfi = HFIDevice(sim, params.nic, node_id, self.tracer)
+        #: kernels attached later by machine builders
+        self.linux = None
+        self.mckernel = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Node {self.node_id}: {len(self.cpus)} cores, "
+                f"hfi ctxts={len(self.hfi._contexts)}>")

@@ -1,0 +1,14 @@
+"""Interface for Heterogeneous Kernels (IHK).
+
+IHK partitions node resources (CPU cores, physical memory) for lightweight
+kernels, boots/destroys them without rebooting the host, and provides the
+Inter-Kernel Communication (IKC) layer used for system-call delegation
+(paper section 2.1).
+"""
+
+from .ikc import IkcChannel
+from .manager import IhkManager
+from .partition import IhkPartition, release_partition, reserve_partition
+
+__all__ = ["IhkManager", "IhkPartition", "IkcChannel",
+           "release_partition", "reserve_partition"]

@@ -1,0 +1,71 @@
+"""IHK management: booting and destroying LWK instances.
+
+Booting an LWK (section 2.1, 3.1):
+
+1. reserve a resource partition (cores offlined from Linux, contiguous
+   physical memory);
+2. lay out the LWK's kernel virtual address space — unified with Linux for
+   PicoDriver operation (the default), or the original layout for
+   pre-PicoDriver behaviour;
+3. when unified, map the McKernel ELF image into Linux (so Linux can call
+   LWK TEXT) — performed here, "at the time of booting the LWK";
+4. create the IKC channel for syscall delegation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.address_space import (mckernel_original_layout,
+                                  unify_address_spaces)
+from ..errors import ReproError
+from ..hw.node import Node
+from ..linux.kernel import LinuxKernel
+from ..params import Params
+from ..sim import Simulator, Tracer
+from .ikc import IkcChannel
+from .partition import release_partition, reserve_partition
+
+#: default LWK memory partition (frames) — most of simulated MCDRAM
+DEFAULT_LWK_FRAMES = 192 * 1024
+
+
+class IhkManager:
+    """Per-node IHK instance (the collection of Linux kernel modules)."""
+
+    def __init__(self, sim: Simulator, params: Params, node: Node,
+                 linux: LinuxKernel, tracer: Optional[Tracer] = None):
+        self.sim = sim
+        self.params = params
+        self.node = node
+        self.linux = linux
+        self.tracer = tracer if tracer is not None else linux.tracer
+        self.lwk: Optional[McKernel] = None
+
+    def boot_mckernel(self, n_cores: Optional[int] = None,
+                      mem_frames: int = DEFAULT_LWK_FRAMES,
+                      unified_address_space: bool = True):
+        """Boot McKernel on a fresh partition; returns the LWK handle."""
+        # imported here: mckernel.kernel imports ihk.ikc, so a module-level
+        # import would be circular
+        from ..mckernel.kernel import McKernel
+        if self.lwk is not None:
+            raise ReproError(f"node {self.node.node_id} already runs an LWK")
+        n = n_cores if n_cores is not None else self.params.node.app_cores
+        partition = reserve_partition(self.node, n, mem_frames)
+        aspace = mckernel_original_layout()
+        if unified_address_space:
+            # includes step 3: the LWK image becomes visible in Linux
+            unify_address_spaces(self.linux.aspace, aspace)
+        ikc = IkcChannel(self.sim, self.params, self.linux, self.tracer)
+        self.lwk = McKernel(self.sim, self.params, self.node, self.linux,
+                            ikc, partition, aspace)
+        return self.lwk
+
+    def destroy_mckernel(self) -> None:
+        """Shut the LWK down and return its resources to Linux."""
+        if self.lwk is None:
+            raise ReproError("no LWK to destroy")
+        release_partition(self.lwk.partition)
+        self.node.mckernel = None
+        self.lwk = None

@@ -1,0 +1,69 @@
+"""Dynamic resource partitioning: cores and memory for the LWK.
+
+IHK "is capable of allocating and releasing host resources dynamically and
+no reboot of the host machine is required" (section 2.1).  A partition
+offlines CPU cores from Linux and carves a contiguous physical-memory
+window out of the node pools, handing the LWK its own frame allocator over
+*globally meaningful* frame numbers (physical contiguity must survive the
+hand-off — McKernel's large pages depend on it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import ReproError
+from ..hw.cpu import Core
+from ..hw.memory import Extent, FrameAllocator
+from ..hw.node import Node
+from ..units import LARGE_PAGE_SIZE, PAGE_SIZE
+
+
+@dataclass
+class IhkPartition:
+    """Resources reserved for one LWK instance."""
+
+    node: Node
+    cores: List[Core]
+    mem_extent: Extent
+    lwk_allocator: FrameAllocator
+    released: bool = False
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.cores)
+
+
+def reserve_partition(node: Node, n_cores: int,
+                      mem_frames: int) -> IhkPartition:
+    """Offline ``n_cores`` from Linux and reserve ``mem_frames`` of
+    physically contiguous MCDRAM for the LWK."""
+    if n_cores <= 0 or mem_frames <= 0:
+        raise ReproError("partition needs positive core and memory counts")
+    cores = node.cpus.take(n_cores, "mckernel")
+    large_page_frames = LARGE_PAGE_SIZE // PAGE_SIZE
+    try:
+        extent = node.mcdram.alloc_contiguous(mem_frames,
+                                              align=large_page_frames)
+    except Exception:
+        node.cpus.give_back(cores)
+        raise
+    lwk_alloc = FrameAllocator(mem_frames, PAGE_SIZE,
+                               name=f"node{node.node_id}.lwk",
+                               base_frame=extent.start)
+    return IhkPartition(node, cores, extent, lwk_alloc)
+
+
+def release_partition(partition: IhkPartition) -> None:
+    """Give everything back to Linux (LWK shutdown)."""
+    if partition.released:
+        raise ReproError("partition already released")
+    if partition.lwk_allocator.allocated_frames:
+        raise ReproError(
+            f"releasing partition with "
+            f"{partition.lwk_allocator.allocated_frames} frames still "
+            f"allocated by the LWK")
+    partition.node.cpus.give_back(partition.cores)
+    partition.node.mcdram.free([partition.mem_extent])
+    partition.released = True

@@ -1,0 +1,5 @@
+"""Shared kernel abstractions (tasks, syscall dispatch interface)."""
+
+from .base import KernelBase, Task
+
+__all__ = ["KernelBase", "Task"]

@@ -1,0 +1,7 @@
+"""The Linux kernel model: VFS, device files, memory management, IRQ
+routing, OS noise, and the unmodified HFI1 driver (subpackage ``hfi1``)."""
+
+from .kernel import LinuxKernel
+from .vfs import File, FileOps, VFS
+
+__all__ = ["File", "FileOps", "LinuxKernel", "VFS"]

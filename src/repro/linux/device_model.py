@@ -1,0 +1,93 @@
+"""The Linux device model: classes, devices and sysfs attributes.
+
+Device drivers "usually comply with the Linux device model, which
+provides facilities for device classes, hotplugging, power management
+... and they often provide device specific entries in pseudo file
+systems such in /proc or /sys" (paper section 1).  None of this exists
+in McKernel — it is exactly the administrative surface the PicoDriver
+architecture leaves in Linux and reaches over offloaded syscalls.
+
+The model here is deliberately small: named classes, devices with
+attribute files surfaced under ``/sys/class/<class>/<device>/<attr>``,
+readable through the normal (offloadable) ``open``/``read`` path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Union
+
+from ..errors import BadSyscall, ReproError
+
+AttrValue = Union[str, int, Callable[[], Union[str, int]]]
+
+
+class Device:
+    """One registered device with its sysfs attributes."""
+
+    def __init__(self, name: str, device_class: str):
+        self.name = name
+        self.device_class = device_class
+        self._attrs: Dict[str, AttrValue] = {}
+
+    def add_attr(self, name: str, value: AttrValue) -> None:
+        """Expose a sysfs attribute (static value or callable)."""
+        if name in self._attrs:
+            raise ReproError(f"{self.sysfs_path}/{name} already exists")
+        self._attrs[name] = value
+
+    def read_attr(self, name: str) -> str:
+        """Render an attribute as sysfs text (value + newline)."""
+        if name not in self._attrs:
+            raise BadSyscall(f"no attribute {self.sysfs_path}/{name}")
+        value = self._attrs[name]
+        if callable(value):
+            value = value()
+        return f"{value}\n"
+
+    @property
+    def sysfs_path(self) -> str:
+        return f"/sys/class/{self.device_class}/{self.name}"
+
+    def attr_names(self):
+        """Sorted attribute names of this device."""
+        return sorted(self._attrs)
+
+
+class DeviceModel:
+    """Per-kernel registry of classes and devices."""
+
+    def __init__(self) -> None:
+        self._devices: Dict[str, Device] = {}   # sysfs path -> device
+
+    def register(self, device: Device) -> Device:
+        """Register a device under /sys/class/<class>/<name>."""
+        if device.sysfs_path in self._devices:
+            raise ReproError(f"device {device.sysfs_path} already registered")
+        self._devices[device.sysfs_path] = device
+        return device
+
+    def unregister(self, device: Device) -> None:
+        """Remove a device from the registry."""
+        self._devices.pop(device.sysfs_path, None)
+
+    def device(self, sysfs_path: str) -> Optional[Device]:
+        """Look up a device by sysfs path, or None."""
+        return self._devices.get(sysfs_path)
+
+    def classes(self):
+        """Sorted device-class names with registered devices."""
+        return sorted({d.device_class for d in self._devices.values()})
+
+    def lookup_attr(self, path: str):
+        """Resolve ``/sys/class/<cls>/<dev>/<attr>`` -> (device, attr),
+        or None if the path is not a sysfs attribute."""
+        if not path.startswith("/sys/class/"):
+            return None
+        parts = path.split("/")
+        if len(parts) != 6:
+            return None
+        dev_path = "/".join(parts[:5])
+        device = self._devices.get(dev_path)
+        if device is None:
+            return None
+        return device, parts[5]

@@ -1,0 +1,33 @@
+"""The unmodified Intel OmniPath Host Fabric Interface (HFI1) Linux driver.
+
+This subpackage stands in for Intel's ~50K-SLOC ``hfi1.ko``:
+
+* :mod:`repro.linux.hfi1.debuginfo` — the driver's internal structure
+  definitions and the DWARF debug info embedded in the shipped binary
+  (two released versions with different layouts, to exercise the
+  extraction workflow).
+* :mod:`repro.linux.hfi1.ioctls` — the driver's ioctl command surface
+  (over a dozen commands; only three concern expected-receive TIDs).
+* :mod:`repro.linux.hfi1.sdma` — building SDMA descriptor chains from
+  pinned user pages, capped at ``PAGE_SIZE`` per request.
+* :mod:`repro.linux.hfi1.driver` — the file-operations implementation
+  (open/writev/ioctl/mmap/poll/lseek/close).
+"""
+
+from .driver import Hfi1Driver
+from .ioctls import (HFI1_IOCTL_ACK_EVENT, HFI1_IOCTL_ASSIGN_CTXT,
+                     HFI1_IOCTL_CREDIT_UPD, HFI1_IOCTL_CTXT_INFO,
+                     HFI1_IOCTL_CTXT_RESET, HFI1_IOCTL_GET_VERS,
+                     HFI1_IOCTL_POLL_TYPE, HFI1_IOCTL_RECV_CTRL,
+                     HFI1_IOCTL_SET_PKEY, HFI1_IOCTL_TID_FREE,
+                     HFI1_IOCTL_TID_INVAL_READ, HFI1_IOCTL_TID_UPDATE,
+                     HFI1_IOCTL_USER_INFO, ALL_IOCTLS, TID_IOCTLS)
+
+__all__ = ["ALL_IOCTLS", "Hfi1Driver", "TID_IOCTLS",
+           "HFI1_IOCTL_ACK_EVENT", "HFI1_IOCTL_ASSIGN_CTXT",
+           "HFI1_IOCTL_CREDIT_UPD", "HFI1_IOCTL_CTXT_INFO",
+           "HFI1_IOCTL_CTXT_RESET", "HFI1_IOCTL_GET_VERS",
+           "HFI1_IOCTL_POLL_TYPE", "HFI1_IOCTL_RECV_CTRL",
+           "HFI1_IOCTL_SET_PKEY", "HFI1_IOCTL_TID_FREE",
+           "HFI1_IOCTL_TID_INVAL_READ", "HFI1_IOCTL_TID_UPDATE",
+           "HFI1_IOCTL_USER_INFO"]

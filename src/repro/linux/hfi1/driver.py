@@ -1,0 +1,327 @@
+"""The HFI1 Linux driver: file operations over the simulated HFI device.
+
+This is the *unmodified* driver of the paper: PicoDriver never changes a
+line here — it reads the structures this driver owns (through DWARF-derived
+offsets) and cooperates through the same hardware rings, locks and
+completion IRQs.
+
+All driver state (``hfi1_devdata``, ``hfi1_filedata``, ``sdma_state``,
+``user_sdma_pkt_q``) lives in the node's byte-backed kernel heap at
+ABI-computed offsets, because the whole point of the reproduction is that
+another kernel dereferences it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ...core.structs import StructInstance
+from ...errors import BadSyscall, DriverError
+from ...hw.hfi import Packet, RcvContext, SdmaRequestGroup
+from ...units import PAGE_SIZE, USEC
+from ..vfs import File, FileOps
+from . import ioctls as ioc
+from .debuginfo import (CURRENT_VERSION, SDMA_PKT_Q_ACTIVE,
+                        SDMA_STATE_S99_RUNNING, build_module, struct_defs)
+from .sdma import build_descs_from_pages
+
+#: fixed cost of context setup in open() beyond the generic open path
+_CTXT_SETUP_COST = 3.2 * USEC
+#: flat cost of the administrative ioctls
+_ADMIN_IOCTL_COST = 0.7 * USEC
+#: device (PIO/credit/rcvhdr) mmap cost
+_DEVICE_MMAP_COST = 1.9 * USEC
+
+
+@dataclass
+class DriverFileState:
+    """Driver-private per-open state (rooted at ``file->private_data``)."""
+
+    ctxt: RcvContext
+    fdata: StructInstance
+    pq: StructInstance
+    tids: Dict[int, int] = field(default_factory=dict)  # tid -> nbytes
+
+
+class Hfi1Driver(FileOps):
+    """``hfi1.ko``: registered with the VFS as ``/dev/hfi1_<unit>``."""
+
+    def __init__(self, version: str = CURRENT_VERSION, unit: int = 0):
+        self.version = version
+        self.unit = unit
+        self.device_path = f"/dev/hfi1_{unit}"
+        #: the shipped module binary — DWARF consumers extract from this
+        self.binary = build_module(version)
+        self._defs = struct_defs(version)
+        self.kernel = None
+        self.hfi = None
+        self.heap = None
+        self.devdata: Optional[StructInstance] = None
+        self.engine_states: List[StructInstance] = []
+        self._files: Dict[int, DriverFileState] = {}  # private_data -> state
+        #: cross-kernel callback registry, installed by the machine builder
+        #: when an LWK is present
+        self.callbacks = None
+
+    # -- module load ---------------------------------------------------------
+
+    def probe(self, kernel) -> None:
+        """Module init: allocate device data, register chrdev and IRQs."""
+        self.kernel = kernel
+        self.hfi = kernel.node.hfi
+        self.heap = kernel.node.kheap
+        params = kernel.params
+        self.devdata = StructInstance(self._defs["hfi1_devdata"], self.heap)
+        self.devdata.set("num_sdma", params.nic.sdma_engines)
+        self.devdata.set("num_rcv_contexts", 160)
+        self.devdata.set("chip_rcv_array_count", params.nic.rcv_array_entries)
+        self.devdata.set("base_guid", 0x0011_7501_0100_0000 + self.unit)
+        for _ in range(params.nic.sdma_engines):
+            state = StructInstance(self._defs["sdma_state"], self.heap)
+            state.set("current_state", SDMA_STATE_S99_RUNNING)
+            state.set("go_s99_running", 1)
+            state.set("previous_state", SDMA_STATE_S99_RUNNING)
+            self.engine_states.append(state)
+        # SDMA submission lock: a spin lock in shared kernel memory, so a
+        # co-kernel with a compatible implementation (and a unified address
+        # space) can synchronize with us (section 3.3)
+        from ...core.sync import CrossKernelSpinLock
+        self.sdma_lock = CrossKernelSpinLock(kernel.sim, self.heap,
+                                             name="hfi1.sdma_submit",
+                                             tracer=kernel.tracer)
+        kernel.vfs.register_chrdev(self.device_path, self)
+        # the device-model surface (sysfs) stays entirely in Linux
+        from ..device_model import Device
+        self.device = Device(f"hfi1_{self.unit}", "infiniband")
+        self.device.add_attr("boardversion", f"ChipABI 3.0, {self.version}")
+        self.device.add_attr("hw_rev", 0x10)
+        self.device.add_attr("nctxts",
+                             lambda: self.devdata.get("num_rcv_contexts"))
+        self.device.add_attr("serial", f"0x{self.devdata.get('base_guid'):x}")
+        self.device.add_attr("tids_in_use", lambda: self.hfi.tids_in_use)
+        kernel.devices.register(self.device)
+        self.hfi.irq_dispatcher = self._irq
+
+    def file_state(self, file: File) -> DriverFileState:
+        """Driver per-open state for a file (via private_data)."""
+        state = self._files.get(file.private_data)
+        if state is None:
+            raise DriverError(f"{self.device_path}: stale private_data "
+                              f"{file.private_data!r}")
+        return state
+
+    def file_state_by_addr(self, private_data: int) -> DriverFileState:
+        """Used by the PicoDriver, which holds the raw address."""
+        state = self._files.get(private_data)
+        if state is None:
+            raise DriverError(f"no hfi1_filedata at {private_data:#x}")
+        return state
+
+    # -- file operations ---------------------------------------------------------
+
+    def open(self, kernel, file: File, task):
+        """Generator: allocate a context + hfi1_filedata/pkt_q structs."""
+        yield kernel.sim.timeout(_CTXT_SETUP_COST)
+        ctxt = self.hfi.alloc_context(owner=task.name)
+        fdata = StructInstance(self._defs["hfi1_filedata"], self.heap)
+        pq = StructInstance(self._defs["user_sdma_pkt_q"], self.heap)
+        fdata.set("dd", self.devdata.addr)
+        fdata.set("ctxt", ctxt.ctxt_id)
+        fdata.set("pq", pq.addr)
+        fdata.set("tid_limit", kernel.params.nic.rcv_array_entries)
+        pq.set("ctxt", ctxt.ctxt_id)
+        pq.set("state", SDMA_PKT_Q_ACTIVE)
+        pq.set("n_max_reqs", kernel.params.nic.sdma_ring_size)
+        pq.set("dd", self.devdata.addr)
+        file.private_data = fdata.addr
+        self._files[fdata.addr] = DriverFileState(ctxt, fdata, pq)
+
+    def release(self, kernel, file: File, task):
+        """Generator: free the context, TIDs and driver structs."""
+        state = self._files.pop(file.private_data, None)
+        if state is None:
+            return
+        yield kernel.sim.timeout(_CTXT_SETUP_COST / 2)
+        if state.tids:
+            self.hfi.unprogram_tids(list(state.tids))
+        self.hfi.free_context(state.ctxt)
+        state.fdata.free()
+        state.pq.free()
+
+    # -- SDMA send (the fast-path writev of section 2.2.2) ----------------------
+
+    def writev(self, kernel, file: File, task, iovecs):
+        """``writev(fd, iovecs)``: iovec 0 is the request header, the rest
+        describe user buffers to transfer via SDMA."""
+        if len(iovecs) < 2:
+            raise BadSyscall("hfi1 writev needs a header iovec and at "
+                             "least one data iovec")
+        meta = iovecs[0]
+        state = self.file_state(file)
+        sc = kernel.params.syscall
+        mem = kernel.params.mem
+
+        cost = sc.writev_base
+        pages: List[int] = []
+        total = 0
+        first_offset = None
+        for vaddr, length in iovecs[1:]:
+            iov_pages, gup_cost = kernel.mm.get_user_pages(task, vaddr, length)
+            cost += gup_cost
+            if first_offset is None:
+                first_offset = vaddr % PAGE_SIZE
+            pages.extend(iov_pages)
+            total += length
+        # The Linux driver submits at most PAGE_SIZE per request (sec. 3.4).
+        descs = build_descs_from_pages(pages, first_offset or 0, total)
+        cost += len(descs) * sc.desc_build
+        meta_addr = self.heap.kmalloc(192)
+        cost += mem.kmalloc_cost
+        yield kernel.sim.timeout(cost)
+
+        state.pq.set("n_reqs", state.pq.get("n_reqs") + 1)
+        packet = Packet(kind=meta.get("kind", "eager"),
+                        src_node=self.hfi.node_id,
+                        dst_node=meta["dst_node"], dst_ctxt=meta["dst_ctxt"],
+                        nbytes=total, tag=meta.get("tag"),
+                        payload=meta.get("payload"),
+                        tids=tuple(meta.get("tids", ())))
+        completion = meta.get("completion")
+        pq_struct = state.pq
+
+        def complete(group: SdmaRequestGroup):
+            # runs in IRQ context on a Linux CPU; returns a generator so
+            # the cleanup cost is charged there
+            def cleanup():
+                for addr in group.meta_addrs:
+                    self.heap.kfree(addr)
+                yield kernel.sim.timeout(mem.kfree_cost * len(group.meta_addrs))
+                pq_struct.set("n_reqs", pq_struct.get("n_reqs") - 1)
+                if completion is not None:
+                    completion.succeed(group)
+            return cleanup()
+
+        group = SdmaRequestGroup(descriptors=descs, packet=packet,
+                                 on_complete=complete, owner_kernel="linux",
+                                 meta_addrs=[meta_addr])
+        engine = self.hfi.pick_engine()
+        yield from self.sdma_lock.acquire("linux", kernel.aspace)
+        try:
+            yield from engine.submit(group)
+        finally:
+            self.sdma_lock.release("linux")
+        return total
+
+    # -- ioctl surface -------------------------------------------------------------
+
+    def ioctl(self, kernel, file: File, task, cmd, arg):
+        """Generator: dispatch the driver's 13 ioctl commands."""
+        state = self.file_state(file)
+        if cmd == ioc.HFI1_IOCTL_TID_UPDATE:
+            return (yield from self._tid_update(kernel, state, task, arg))
+        if cmd == ioc.HFI1_IOCTL_TID_FREE:
+            return (yield from self._tid_free(kernel, state, arg))
+        if cmd == ioc.HFI1_IOCTL_TID_INVAL_READ:
+            yield kernel.sim.timeout(_ADMIN_IOCTL_COST)
+            idx = state.fdata.get("invalid_tid_idx")
+            state.fdata.set("invalid_tid_idx", 0)
+            return list(range(idx))
+        if cmd == ioc.HFI1_IOCTL_ASSIGN_CTXT:
+            yield kernel.sim.timeout(_ADMIN_IOCTL_COST)
+            return {"ctxt": state.ctxt.ctxt_id, "subctxt": 0}
+        if cmd == ioc.HFI1_IOCTL_CTXT_INFO:
+            yield kernel.sim.timeout(_ADMIN_IOCTL_COST)
+            return {"ctxt": state.ctxt.ctxt_id,
+                    "rcvtids": state.fdata.get("tid_limit"),
+                    "credits": 64}
+        if cmd == ioc.HFI1_IOCTL_USER_INFO:
+            yield kernel.sim.timeout(_ADMIN_IOCTL_COST)
+            return {"hfi1_version": self.version,
+                    "num_sdma": self.devdata.get("num_sdma")}
+        if cmd == ioc.HFI1_IOCTL_GET_VERS:
+            yield kernel.sim.timeout(_ADMIN_IOCTL_COST)
+            return 6  # user interface version
+        if cmd in (ioc.HFI1_IOCTL_CREDIT_UPD, ioc.HFI1_IOCTL_RECV_CTRL,
+                   ioc.HFI1_IOCTL_POLL_TYPE, ioc.HFI1_IOCTL_ACK_EVENT,
+                   ioc.HFI1_IOCTL_SET_PKEY, ioc.HFI1_IOCTL_CTXT_RESET):
+            yield kernel.sim.timeout(_ADMIN_IOCTL_COST)
+            return 0
+        raise BadSyscall(f"hfi1: unknown ioctl {cmd:#x}")
+
+    def _tid_update(self, kernel, state: DriverFileState, task, arg):
+        """Register expected-receive buffers: pin pages, program RcvArray
+        entries, return the TIDs (section 2.2.2)."""
+        vaddr, length = arg["vaddr"], arg["length"]
+        sc = kernel.params.syscall
+        nic = kernel.params.nic
+        pages, gup_cost = kernel.mm.get_user_pages(task, vaddr, length)
+        # one RcvArray entry per base page: the unmodified driver derives
+        # spans from the page list, so contiguity is invisible to it
+        spans = []
+        remaining = length
+        first_off = vaddr % PAGE_SIZE
+        for i, pa in enumerate(pages):
+            start = first_off if i == 0 else 0
+            chunk = min(PAGE_SIZE - start, remaining)
+            spans.append((pa + start, chunk))
+            remaining -= chunk
+        entries = self.hfi.program_tids(state.ctxt, spans)
+        cost = (sc.tid_ioctl_base + gup_cost
+                + len(entries) * nic.tid_program_cost)
+        yield kernel.sim.timeout(cost)
+        for e, (pa, nbytes) in zip(entries, spans):
+            state.tids[e.tid] = nbytes
+        state.fdata.set("tid_used", len(state.tids))
+        return [e.tid for e in entries]
+
+    def _tid_free(self, kernel, state: DriverFileState, arg):
+        tids = list(arg["tids"])
+        for tid in tids:
+            if tid not in state.tids:
+                raise DriverError(f"TID_FREE of unowned tid {tid}")
+        self.hfi.unprogram_tids(tids)
+        for tid in tids:
+            del state.tids[tid]
+        state.fdata.set("tid_used", len(state.tids))
+        yield kernel.sim.timeout(
+            kernel.params.syscall.tid_ioctl_base
+            + len(tids) * kernel.params.nic.tid_program_cost)
+        return len(tids)
+
+    # -- mmap / poll -------------------------------------------------------------------
+
+    def mmap(self, kernel, file: File, task, length):
+        """Map device resources (PIO credit/send buffers, rcvhdrq) into
+        user space — how PSM gets its OS-bypass window."""
+        yield kernel.sim.timeout(_DEVICE_MMAP_COST)
+        state = self.file_state(file)
+        return 0x7FFF_0000_0000 + state.ctxt.ctxt_id * 0x10_0000
+
+    def poll(self, kernel, file: File, task):
+        """Report receive backlog (POLLIN count)."""
+        state = self.file_state(file)
+        return len(state.ctxt.eager_backlog)
+        yield  # pragma: no cover
+
+    # -- interrupt handling ----------------------------------------------------------------
+
+    def _irq(self, group: SdmaRequestGroup) -> None:
+        """HFI IRQ dispatcher: route to a Linux CPU via the interrupt
+        controller, then run the completion callback there."""
+        self.kernel.interrupts.deliver(self._sdma_complete, group)
+
+    def _sdma_complete(self, group: SdmaRequestGroup):
+        """Runs on a Linux OS CPU in IRQ context."""
+        if group.callback_addr is not None:
+            if self.callbacks is None:
+                raise DriverError("completion carries a callback address "
+                                  "but no callback registry is installed")
+            result = self.callbacks.invoke("linux", group.callback_addr, group)
+        elif group.on_complete is not None:
+            result = group.on_complete(group)
+        else:
+            result = None
+        if result is not None and hasattr(result, "send"):
+            return result
+        return None

@@ -1,0 +1,33 @@
+"""The HFI1 driver's ioctl command surface.
+
+The driver implements "over a dozen different functionalities" through
+``ioctl``, of which exactly three concern expected-receive buffer
+registration (paper section 2.2.2).  The PicoDriver claims only those
+three; everything else stays on the offloaded slow path.
+"""
+
+HFI1_IOCTL_ASSIGN_CTXT = 0xE1      # assign a receive context to the fd
+HFI1_IOCTL_CTXT_INFO = 0xE2        # query context geometry
+HFI1_IOCTL_USER_INFO = 0xE3        # query user parameters / capabilities
+HFI1_IOCTL_TID_UPDATE = 0xE4       # register expected-receive buffers
+HFI1_IOCTL_TID_FREE = 0xE5         # unregister expected-receive buffers
+HFI1_IOCTL_CREDIT_UPD = 0xE6       # force a PIO credit return
+HFI1_IOCTL_RECV_CTRL = 0xE8        # start/stop receive of a context
+HFI1_IOCTL_POLL_TYPE = 0xE9        # set poll type
+HFI1_IOCTL_ACK_EVENT = 0xEA        # acknowledge driver events
+HFI1_IOCTL_SET_PKEY = 0xEB         # change the partition key
+HFI1_IOCTL_CTXT_RESET = 0xEC       # reset the context's send engine
+HFI1_IOCTL_TID_INVAL_READ = 0xED   # read TIDs invalidated by MMU notifiers
+HFI1_IOCTL_GET_VERS = 0xEE         # query the user interface version
+
+ALL_IOCTLS = (
+    HFI1_IOCTL_ASSIGN_CTXT, HFI1_IOCTL_CTXT_INFO, HFI1_IOCTL_USER_INFO,
+    HFI1_IOCTL_TID_UPDATE, HFI1_IOCTL_TID_FREE, HFI1_IOCTL_CREDIT_UPD,
+    HFI1_IOCTL_RECV_CTRL, HFI1_IOCTL_POLL_TYPE, HFI1_IOCTL_ACK_EVENT,
+    HFI1_IOCTL_SET_PKEY, HFI1_IOCTL_CTXT_RESET, HFI1_IOCTL_TID_INVAL_READ,
+    HFI1_IOCTL_GET_VERS,
+)
+
+#: the three reception-buffer-registration commands (section 2.2.2)
+TID_IOCTLS = (HFI1_IOCTL_TID_UPDATE, HFI1_IOCTL_TID_FREE,
+              HFI1_IOCTL_TID_INVAL_READ)

@@ -1,0 +1,83 @@
+"""SDMA descriptor-chain construction.
+
+The central asymmetry of the paper lives here:
+
+* :func:`build_descs_from_pages` — what the Linux driver does: iterate the
+  page list returned by ``get_user_pages()`` and emit one request per base
+  page, never exceeding ``PAGE_SIZE`` "because page boundaries must be
+  checked carefully" (section 3.4).  Physically contiguous neighbours and
+  large pages are invisible to it.
+
+* :func:`build_descs_from_spans` — what the HFI PicoDriver does: walk the
+  physically contiguous spans of pinned LWK page tables and emit requests
+  up to the hardware maximum (10KB).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ...errors import DriverError
+from ...hw.hfi import SdmaDescriptor
+from ...units import PAGE_SIZE
+
+
+def build_descs_from_pages(pages: List[int], offset: int, length: int,
+                           max_request: int = PAGE_SIZE) -> List[SdmaDescriptor]:
+    """Linux-driver style: one descriptor per base page.
+
+    ``pages`` are the physical addresses of consecutive 4KB pages backing
+    the buffer; ``offset`` is the byte offset into the first page.
+    """
+    if length <= 0:
+        raise DriverError(f"bad SDMA length {length}")
+    if offset >= PAGE_SIZE:
+        raise DriverError(f"offset {offset} outside the first page")
+    if max_request > PAGE_SIZE:
+        # The Linux driver never exceeds PAGE_SIZE even though the
+        # hardware accepts more (section 3.4).
+        max_request = PAGE_SIZE
+    descs: List[SdmaDescriptor] = []
+    remaining = length
+    for i, pa in enumerate(pages):
+        if remaining <= 0:
+            break
+        start = offset if i == 0 else 0
+        chunk = min(PAGE_SIZE - start, remaining, max_request)
+        descs.append(SdmaDescriptor(pa + start, chunk))
+        remaining -= chunk
+    if remaining > 0:
+        raise DriverError(
+            f"page list covers only {length - remaining} of {length} bytes")
+    return descs
+
+
+def build_descs_from_spans(spans: List[Tuple[int, int]],
+                           max_request: int) -> List[SdmaDescriptor]:
+    """PicoDriver style: chop physically contiguous spans at the hardware
+    maximum only."""
+    if max_request <= 0:
+        raise DriverError(f"bad max request size {max_request}")
+    descs: List[SdmaDescriptor] = []
+    for pa, nbytes in spans:
+        if nbytes <= 0:
+            raise DriverError(f"bad span length {nbytes}")
+        off = 0
+        while off < nbytes:
+            chunk = min(max_request, nbytes - off)
+            descs.append(SdmaDescriptor(pa + off, chunk))
+            off += chunk
+    return descs
+
+
+def split_spans_for_tids(spans: List[Tuple[int, int]],
+                         max_span: int) -> List[Tuple[int, int]]:
+    """Split physical spans so each fits one RcvArray entry."""
+    out: List[Tuple[int, int]] = []
+    for pa, nbytes in spans:
+        off = 0
+        while off < nbytes:
+            chunk = min(max_span, nbytes - off)
+            out.append((pa + off, chunk))
+            off += chunk
+    return out

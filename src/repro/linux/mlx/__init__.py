@@ -1,0 +1,23 @@
+"""A Mellanox InfiniBand (mlx5-style) verbs driver model.
+
+The paper's future work: "we intend to further extend this work by
+porting memory registration routines from the Mellanox Infiniband
+driver" (section 6).  Memory registration requires system calls
+(section 1) — ``reg_mr`` pins user pages and programs the HCA's memory
+translation table (MTT) — though it is "not necessarily in the critical
+path of execution".
+
+This subpackage provides the Linux-resident side: the uverbs character
+device, its command surface, the driver structures (with versioned DWARF
+debug info, like the HFI1 driver) and the per-page MTT programming the
+PicoDriver port avoids.
+"""
+
+from .driver import MlxDriver
+from .verbs import (MLX_CMD_CREATE_CQ, MLX_CMD_CREATE_PD, MLX_CMD_CREATE_QP,
+                    MLX_CMD_DEREG_MR, MLX_CMD_QUERY_DEVICE, MLX_CMD_REG_MR,
+                    ALL_VERB_COMMANDS, MEMREG_COMMANDS)
+
+__all__ = ["ALL_VERB_COMMANDS", "MEMREG_COMMANDS", "MLX_CMD_CREATE_CQ",
+           "MLX_CMD_CREATE_PD", "MLX_CMD_CREATE_QP", "MLX_CMD_DEREG_MR",
+           "MLX_CMD_QUERY_DEVICE", "MLX_CMD_REG_MR", "MlxDriver"]

@@ -1,0 +1,25 @@
+"""The uverbs command surface (subset).
+
+Like the HFI1 ioctl table, only a small slice concerns the performance-
+relevant operation: of the command set, exactly two deal with memory
+registration, and those are what an InfiniBand PicoDriver would claim.
+"""
+
+MLX_CMD_QUERY_DEVICE = 0x01     # device attributes
+MLX_CMD_CREATE_PD = 0x02        # protection domain
+MLX_CMD_CREATE_CQ = 0x03        # completion queue
+MLX_CMD_CREATE_QP = 0x04        # queue pair
+MLX_CMD_MODIFY_QP = 0x05        # QP state machine
+MLX_CMD_REG_MR = 0x06           # register a memory region (pins + MTT)
+MLX_CMD_DEREG_MR = 0x07         # unregister a memory region
+MLX_CMD_CREATE_AH = 0x08        # address handle
+MLX_CMD_QUERY_PORT = 0x09       # port attributes
+
+ALL_VERB_COMMANDS = (
+    MLX_CMD_QUERY_DEVICE, MLX_CMD_CREATE_PD, MLX_CMD_CREATE_CQ,
+    MLX_CMD_CREATE_QP, MLX_CMD_MODIFY_QP, MLX_CMD_REG_MR,
+    MLX_CMD_DEREG_MR, MLX_CMD_CREATE_AH, MLX_CMD_QUERY_PORT,
+)
+
+#: the memory-registration pair a PicoDriver claims
+MEMREG_COMMANDS = (MLX_CMD_REG_MR, MLX_CMD_DEREG_MR)

@@ -1,0 +1,69 @@
+"""Linux memory management: fragmented anonymous memory and
+``get_user_pages()``.
+
+Anonymous mappings are backed by whatever 4KB frames the buddy allocator
+has left — effectively scattered after any uptime — so virtually contiguous
+buffers are almost never physically contiguous.  That is why the HFI1
+driver "utilizes only up to PAGE_SIZE long SDMA requests" (section 3.4):
+it cannot assume more.
+
+``get_user_pages()`` resolves and *pins* the base pages backing a user
+range; the per-page cost is what the PicoDriver avoids by iterating LWK
+page tables over already-pinned memory.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import BadSyscall
+from ..hw.memory import FrameAllocator
+from ..kernels.base import Task
+from ..params import Params
+from ..units import PAGE_SIZE, align_up, pages_for
+
+
+class LinuxMM:
+    """Per-node Linux memory manager."""
+
+    def __init__(self, params: Params, mcdram: FrameAllocator,
+                 ddr: FrameAllocator, rng: np.random.Generator):
+        self.params = params
+        self.mcdram = mcdram
+        self.ddr = ddr
+        self.rng = rng
+
+    def _pool_for(self, n_frames: int) -> FrameAllocator:
+        """MCDRAM first, DDR when it does not fit (section 4.2 policy)."""
+        return self.mcdram if self.mcdram.free_frames >= n_frames else self.ddr
+
+    def alloc_anonymous(self, task: Task, length: int) -> int:
+        """Back an anonymous mmap with scattered 4KB frames; returns the
+        mapped virtual address."""
+        if length <= 0:
+            raise BadSyscall(f"mmap of non-positive length {length}")
+        n = pages_for(length)
+        pool = self._pool_for(n)
+        extents = pool.alloc_scattered(
+            n, self.rng, contig_prob=self.params.mem.linux_contig_prob)
+        va = task.mmap_cursor
+        task.mmap_cursor = align_up(task.mmap_cursor + length, PAGE_SIZE)
+        task.pagetable.map_extents(va, extents, pinned=False,
+                                   use_large_pages=False)
+        task.state.setdefault("vma_pool", {})[va] = pool
+        return va
+
+    def free_anonymous(self, task: Task, vaddr: int, length: int) -> None:
+        """Unmap an anonymous region and return its frames."""
+        released = task.pagetable.unmap_range(vaddr, align_up(length, PAGE_SIZE))
+        pool = task.state.get("vma_pool", {}).pop(vaddr, self.ddr)
+        pool.free(released)
+
+    def get_user_pages(self, task: Task, vaddr: int,
+                       length: int) -> Tuple[List[int], float]:
+        """Resolve + pin base pages; returns (physical pages, CPU cost)."""
+        pages = task.pagetable.pages(vaddr, length)
+        cost = len(pages) * self.params.syscall.gup_per_page
+        return pages, cost

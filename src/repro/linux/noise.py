@@ -1,0 +1,60 @@
+"""Residual OS noise on Linux application cores.
+
+The paper's Linux baseline is Fujitsu's production environment with
+``nohz_full`` on application cores (section 4.1) — most of the classical
+noise is gone, but housekeeping ticks and asynchronous kernel work
+(kworkers, RCU) still steal cycles occasionally.  McKernel cores are
+tickless and noise-free, which is why it can edge out Linux on
+synchronization-heavy workloads even before the PicoDriver (Nekbone,
+Figure 5b): collectives turn the *maximum* per-rank delay into everyone's
+delay.
+
+The model inflates a compute interval ``dt`` by the deterministic tick
+component plus Poisson-arriving bursts with log-normal duration.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..params import NoiseParams
+
+
+class NoiseModel:
+    """Per-core noise: ``inflate(dt)`` returns the noisy wall time."""
+
+    def __init__(self, params: NoiseParams, rng: np.random.Generator):
+        self.params = params
+        self.rng = rng
+        self._mu = math.log(params.burst_log_median)
+        self._sigma = params.burst_log_sigma
+
+    def sample_extra(self, dt: float) -> float:
+        """Noise seconds stolen during ``dt`` seconds of computation."""
+        if dt <= 0:
+            return 0.0
+        p = self.params
+        extra = dt * p.tick_rate_hz * p.tick_cost
+        n_bursts = self.rng.poisson(dt * p.burst_rate_hz)
+        if n_bursts:
+            extra += float(np.exp(self.rng.normal(
+                self._mu, self._sigma, size=n_bursts)).sum())
+        return extra
+
+    def inflate(self, dt: float) -> float:
+        """Wall time of ``dt`` seconds of work under noise."""
+        return dt + self.sample_extra(dt)
+
+
+class NoNoise:
+    """The LWK personality: computation takes exactly as long as it takes."""
+
+    @staticmethod
+    def sample_extra(dt: float) -> float:
+        return 0.0
+
+    @staticmethod
+    def inflate(dt: float) -> float:
+        return dt

@@ -1,0 +1,15 @@
+"""McKernel: the lightweight co-kernel.
+
+Implements only the performance-sensitive OS services — memory management
+with physically contiguous large-page anonymous mappings, a tick-less
+cooperative scheduler, and local syscall handling — and delegates the rest
+to Linux through the proxy process and IKC (paper section 2.1).
+"""
+
+from .kernel import McKernel
+from .mm import LwkMM, PerCoreAllocator
+from .proxy import ProxyProcess
+from .scheduler import CoopScheduler
+
+__all__ = ["CoopScheduler", "LwkMM", "McKernel", "PerCoreAllocator",
+           "ProxyProcess"]

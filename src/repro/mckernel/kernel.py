@@ -1,0 +1,183 @@
+"""The McKernel lightweight kernel.
+
+Syscall routing (sections 2.1, 3):
+
+* anonymous ``mmap`` — local, contiguous/large-page memory;
+* ``munmap`` — local teardown *plus* an offloaded shadow-unmap keeping the
+  proxy's view coherent (the cost Figure 9 exposes);
+* ``nanosleep`` and scheduling — local (tick-less);
+* device-file syscalls — offered to a registered PicoDriver first; claimed
+  calls run on the LWK core (fast path), everything else offloads to the
+  unmodified Linux driver through the proxy process;
+* everything else — offloaded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.picodriver import PicoDriverRegistry
+from ..errors import BadSyscall, ReproError
+from ..hw.node import Node
+from ..ihk.ikc import IkcChannel
+from ..ihk.partition import IhkPartition
+from ..kernels.base import KernelBase, Task
+from ..linux.kernel import LinuxKernel
+from ..linux.vfs import File
+from ..params import Params
+from ..sim import Simulator, Tracer
+from ..units import pages_for
+from .mm import LwkMM, PerCoreAllocator
+from .proxy import ProxyProcess
+from .scheduler import CoopScheduler
+
+#: fd-based syscalls that may target a device file
+_FD_SYSCALLS = ("close", "read", "writev", "ioctl", "poll", "lseek")
+
+
+class McKernel(KernelBase):
+    """One LWK instance, booted by IHK next to Linux on the same node."""
+
+    name = "mckernel"
+
+    def __init__(self, sim: Simulator, params: Params, node: Node,
+                 linux: LinuxKernel, ikc: IkcChannel,
+                 partition: IhkPartition, aspace,
+                 tracer: Optional[Tracer] = None):
+        super().__init__(sim, params, tracer)
+        self.node = node
+        self.linux = linux
+        self.ikc = ikc
+        self.partition = partition
+        self.aspace = aspace
+        self.mm = LwkMM(params, partition.lwk_allocator)
+        core_ids = [c.core_id for c in partition.cores]
+        self.alloc = PerCoreAllocator(params, node.kheap, set(core_ids))
+        self.sched = CoopScheduler(core_ids)
+        self.pico = PicoDriverRegistry()
+        self.proxies: Dict[str, ProxyProcess] = {}
+        #: fd -> (device path, Linux file object) per task, mirrored from
+        #: the proxy's fd table after device opens
+        self._device_fds: Dict[str, Dict[int, Tuple[str, File]]] = {}
+        node.mckernel = self
+
+    # -- process management ----------------------------------------------------
+
+    def spawn_process(self, name: str, core_id: Optional[int] = None,
+                      rng=None) -> Task:
+        """Create an LWK process and its Linux-side proxy."""
+        task = self.spawn_task(name, core_id if core_id is not None else -1,
+                               rng)
+        placed = self.sched.enqueue(task, core_id)
+        task.core_id = placed
+        os_core = self.node.cpus.owned_by("linux")[0].core_id
+        proxy_task = self.linux.spawn_task(f"{name}.proxy", os_core, rng)
+        # the proxy mirrors the application's user address space (partially
+        # separated page tables): offloaded driver calls resolve user
+        # buffers through the same mappings the LWK installed
+        proxy_task.pagetable = task.pagetable
+        self.proxies[name] = ProxyProcess(task, proxy_task)
+        self._device_fds[name] = {}
+        return task
+
+    def proxy_for(self, task: Task) -> ProxyProcess:
+        """The Linux-side proxy process of an LWK task."""
+        proxy = self.proxies.get(task.name)
+        if proxy is None:
+            raise ReproError(f"{task.name} has no proxy process")
+        return proxy
+
+    def device_file(self, task: Task, fd: int) -> Tuple[str, File]:
+        """(path, Linux file) behind a device fd of this task."""
+        entry = self._device_fds.get(task.name, {}).get(fd)
+        if entry is None:
+            raise BadSyscall(f"{task.name}: fd {fd} is not an open device")
+        return entry
+
+    # -- time ----------------------------------------------------------------------
+
+    def execute(self, task: Task, seconds: float):
+        """Generator: tick-less computation.
+
+        No noise is ever added (the LWK's defining property), but if the
+        co-operative scheduler has several tasks on this core they share
+        it, so wall time scales with the run-queue depth.
+        """
+        if seconds <= 0:
+            return None
+        load = max(1, self.sched.load(task.core_id))
+        yield self.sim.timeout(seconds * load)
+        return None
+
+    # -- PicoDriver registration -------------------------------------------------
+
+    def register_picodriver(self, driver) -> None:
+        """Attach a fast-path driver (verifies unification + layouts)."""
+        driver.attach(self)
+        self.pico.register(driver)
+
+    # -- syscall dispatch ------------------------------------------------------------
+
+    def syscall(self, task: Task, name: str, *args):
+        """Generator: LWK entry cost + routing + per-call accounting."""
+        t0 = self.sim.now
+        yield self.sim.timeout(self.params.syscall.lwk_entry)
+        ret = yield from self._dispatch(task, name, args)
+        self.account_syscall(name, self.sim.now - t0)
+        return ret
+
+    def _dispatch(self, task: Task, name: str, args: tuple):
+        sc = self.params.syscall
+        # --- locally implemented services ---
+        if name == "mmap" and len(args) == 1:
+            length, = args
+            yield self.sim.timeout(sc.mmap_cost
+                                   + pages_for(length) * sc.page_map_cost)
+            return self.mm.alloc_anonymous(task, length)
+        if name == "munmap":
+            self.check_args(name, args, 2)
+            vaddr, length = args
+            yield self.sim.timeout(sc.munmap_cost
+                                   + pages_for(length) * sc.page_unmap_cost)
+            self.mm.free_anonymous(task, vaddr, length)
+            # keep the proxy's address space coherent — an offloaded
+            # shadow unmap (the residual cost of Figure 9)
+            yield from self._offload(task, "munmap_shadow", (vaddr, length))
+            return 0
+        if name == "nanosleep":
+            self.check_args(name, args, 1)
+            duration, = args
+            yield self.sim.timeout(sc.nanosleep_cost / 2 + duration)
+            return 0
+        # --- device fast path ---
+        if name in _FD_SYSCALLS or (name == "mmap" and len(args) == 2):
+            fd = args[0]
+            entry = self._device_fds.get(task.name, {}).get(fd)
+            if entry is not None:
+                path, _file = entry
+                decision = self.pico.decide(path, name, args)
+                self.tracer.count(
+                    f"pico.{'fast' if decision.handled else 'offload'}.{name}")
+                if decision.handled:
+                    driver = self.pico.lookup(path)
+                    ret = yield from driver.fast_call(task, name, args)
+                    return ret
+                if name == "close":
+                    ret = yield from self._offload(task, name, args)
+                    self._device_fds[task.name].pop(fd, None)
+                    return ret
+        # --- everything else: system call offloading ---
+        ret = yield from self._offload(task, name, args)
+        if name == "open":
+            path = args[0]
+            if self.linux.vfs.is_device(path):
+                proxy = self.proxy_for(task)
+                file = self.linux.vfs.file_for(proxy.name, ret)
+                self._device_fds[task.name][ret] = (path, file)
+        return ret
+
+    def _offload(self, task: Task, name: str, args: tuple):
+        self.tracer.count("offload.calls")
+        proxy = self.proxy_for(task)
+        ret = yield from self.ikc.call(proxy.linux_task, name, args)
+        return ret

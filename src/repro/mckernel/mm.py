@@ -1,0 +1,115 @@
+"""McKernel memory management.
+
+Two policies matter for PicoDriver (sections 3.3-3.4):
+
+* **Anonymous mappings are physically contiguous and large-page backed
+  whenever possible, and always pinned.**  SDMA fast paths can then walk
+  page tables over long physical spans instead of pinning page-by-page.
+
+* **The kernel allocator is per-core.**  ``kfree`` must run on a McKernel
+  CPU to find its free list — but SDMA completions run on *Linux* CPUs.
+  :meth:`PerCoreAllocator.kfree` reproduces the paper's extension: a
+  foreign (Linux) CPU takes a slower cross-core path instead of failing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..errors import OutOfMemory, ReproError
+from ..hw.memory import FrameAllocator, SharedHeap
+from ..kernels.base import Task
+from ..params import Params
+from ..units import LARGE_PAGE_SIZE, PAGE_SIZE, align_up, pages_for
+
+
+class LwkMM:
+    """Anonymous-memory manager over the LWK's partitioned frames."""
+
+    def __init__(self, params: Params, allocator: FrameAllocator):
+        self.params = params
+        self.allocator = allocator
+
+    def alloc_anonymous(self, task: Task, length: int) -> int:
+        """Map ``length`` bytes of ANONYMOUS memory: physically contiguous
+        (2MB-aligned when it helps), large-page mapped, pinned."""
+        if length <= 0:
+            raise ReproError(f"mmap of non-positive length {length}")
+        n = pages_for(length)
+        lp_frames = LARGE_PAGE_SIZE // PAGE_SIZE
+        align = lp_frames if n >= lp_frames else 1
+        try:
+            extents = [self.allocator.alloc_contiguous(n, align=align)]
+        except OutOfMemory:
+            # best effort: fall back to as-few-extents-as-possible
+            extents = self.allocator.alloc(n)
+        va = task.mmap_cursor
+        # align the VA so 2MB-aligned physical runs can use large pages
+        if align > 1:
+            va = align_up(va, LARGE_PAGE_SIZE)
+        task.mmap_cursor = align_up(va + length, PAGE_SIZE)
+        task.pagetable.map_extents(va, extents, pinned=True,
+                                   use_large_pages=True)
+        return va
+
+    def free_anonymous(self, task: Task, vaddr: int, length: int) -> None:
+        """Unmap an anonymous region and return its frames."""
+        released = task.pagetable.unmap_range(
+            vaddr, align_up(length, PAGE_SIZE))
+        self.allocator.free(released)
+
+
+class PerCoreAllocator:
+    """McKernel's scalable per-core kernel-object allocator.
+
+    Objects are tagged with their allocating core.  Freeing from a core the
+    LWK manages is cheap; freeing from a *Linux* CPU only works once the
+    PicoDriver extension is enabled, and costs extra (section 3.3).
+    """
+
+    def __init__(self, params: Params, heap: SharedHeap,
+                 lwk_cores: Set[int]):
+        self.params = params
+        self.heap = heap
+        self.lwk_cores = set(lwk_cores)
+        self.foreign_free_enabled = False
+        self._owner: Dict[int, int] = {}           # addr -> owning core
+        self._freelists: Dict[int, List[int]] = {}  # core -> recycled addrs
+        self.foreign_frees = 0
+
+    def kmalloc(self, size: int, core_id: int) -> Tuple[int, float]:
+        """Allocate on ``core_id``; returns (addr, cpu cost)."""
+        if core_id not in self.lwk_cores:
+            raise ReproError(
+                f"McKernel kmalloc on unmanaged core {core_id}")
+        addr = self.heap.kmalloc(size)
+        self._owner[addr] = core_id
+        return addr, self.params.mem.kmalloc_cost
+
+    def kfree(self, addr: int, core_id: int) -> float:
+        """Free ``addr`` from ``core_id``; returns the cpu cost.
+
+        On an LWK core: push onto that core's free list.  On any other
+        (Linux) CPU: fail unless the cross-kernel extension is on.
+        """
+        owner = self._owner.pop(addr, None)
+        if owner is None:
+            raise ReproError(f"kfree of unallocated {addr:#x}")
+        if core_id in self.lwk_cores:
+            self.heap.kfree(addr)
+            self._freelists.setdefault(core_id, []).append(addr)
+            return self.params.mem.kfree_cost
+        if not self.foreign_free_enabled:
+            # the unmodified behaviour the paper had to fix
+            self._owner[addr] = owner  # leave allocation intact
+            raise ReproError(
+                f"McKernel kfree called on non-LWK CPU {core_id} "
+                f"(enable the PicoDriver foreign-free extension)")
+        self.heap.kfree(addr)
+        self._freelists.setdefault(owner, []).append(addr)
+        self.foreign_frees += 1
+        return self.params.mem.foreign_free_cost
+
+    def live_objects(self) -> int:
+        """Number of live kernel objects (leak checks)."""
+        return len(self._owner)

@@ -1,0 +1,32 @@
+"""The proxy process (paper section 2.1).
+
+For every McKernel process there is a Linux-side proxy that provides the
+execution context for offloaded syscalls and *owns the state Linux must
+track*: most importantly the file descriptor table — "McKernel has no
+notion of file descriptors, it simply returns the number it receives from
+the proxy process".
+"""
+
+from __future__ import annotations
+
+from ..kernels.base import Task
+
+
+class ProxyProcess:
+    """Linux-side twin of one McKernel task."""
+
+    def __init__(self, mck_task: Task, linux_task: Task):
+        self.mck_task = mck_task
+        self.linux_task = linux_task
+
+    @property
+    def name(self) -> str:
+        return self.linux_task.name
+
+    def fd_table(self):
+        """The *Linux* fd table — the single source of truth for open
+        files of the McKernel process."""
+        return self.mck_task.kernel.linux.vfs.fd_table(self.linux_task.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ProxyProcess for {self.mck_task.name}>"

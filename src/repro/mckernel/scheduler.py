@@ -1,0 +1,65 @@
+"""McKernel's co-operative, tick-less round-robin scheduler.
+
+There is no timer tick on LWK cores — a task runs until it yields — which
+is exactly why McKernel cores are noise-free (sections 2.1, 4).  The HPC
+configurations in the paper pin one rank per core, so the scheduler's run
+queues are usually depth one; the implementation still supports
+multiplexing for completeness and for tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from ..errors import ReproError
+from ..kernels.base import Task
+
+
+class CoopScheduler:
+    """Per-core FIFO run queues with voluntary yield only."""
+
+    def __init__(self, core_ids: List[int]):
+        if not core_ids:
+            raise ReproError("scheduler needs at least one core")
+        self.core_ids = list(core_ids)
+        self._queues: Dict[int, Deque[Task]] = {c: deque() for c in core_ids}
+
+    def enqueue(self, task: Task, core_id: Optional[int] = None) -> int:
+        """Place ``task`` on a core (least-loaded when unspecified)."""
+        if core_id is None:
+            core_id = min(self.core_ids, key=lambda c: len(self._queues[c]))
+        if core_id not in self._queues:
+            raise ReproError(f"core {core_id} not managed by this LWK")
+        self._queues[core_id].append(task)
+        return core_id
+
+    def current(self, core_id: int) -> Optional[Task]:
+        """The task at the head of a core's run queue."""
+        queue = self._queues[core_id]
+        return queue[0] if queue else None
+
+    def yield_cpu(self, core_id: int) -> Optional[Task]:
+        """Co-operative yield: rotate the core's run queue."""
+        queue = self._queues[core_id]
+        if not queue:
+            return None
+        queue.rotate(-1)
+        return queue[0]
+
+    def dequeue(self, task: Task) -> None:
+        """Remove a task from whichever run queue holds it."""
+        for queue in self._queues.values():
+            if task in queue:
+                queue.remove(task)
+                return
+        raise ReproError(f"{task} not on any run queue")
+
+    def load(self, core_id: int) -> int:
+        """Run-queue depth of a core."""
+        return len(self._queues[core_id])
+
+    @property
+    def is_tickless(self) -> bool:
+        """No preemption timer exists; documented as an invariant."""
+        return True

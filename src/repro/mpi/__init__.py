@@ -1,0 +1,14 @@
+"""A miniature MPI over PSM.
+
+Enough of MPI to run the paper's workloads: communicator/world setup
+(``MPI_Init`` semantics including device initialization), point-to-point
+with requests, the collectives the CORAL apps exercise, and an
+``I_MPI_STATS``-style per-call profile (Table 1)."""
+
+from .communicator import MpiRank, MpiWorld
+from .p2p import PersistentRequest, Request
+from .stats import MpiStats, StatRow
+from . import collectives
+
+__all__ = ["MpiRank", "MpiStats", "MpiWorld", "PersistentRequest",
+           "Request", "StatRow", "collectives"]

@@ -1,0 +1,260 @@
+"""MPI collectives over point-to-point, with the classic algorithms:
+
+* ``barrier`` — dissemination (log2 P rounds of small messages),
+* ``bcast`` — binomial tree,
+* ``reduce`` / ``allreduce`` — binomial tree / recursive doubling, with
+  values really combined so correctness is testable,
+* ``allgather`` — ring,
+* ``alltoallv`` — pairwise exchange,
+* ``scan`` — inclusive prefix by recursive doubling,
+* ``cart_create`` — address exchange + reorder: an allgather, a barrier
+  and per-rank bookkeeping compute.  Dominated by many small
+  synchronizing messages, which is why OS noise inflates it (HACC's top
+  Linux cost in Table 1).
+
+Every function is a generator to be driven from a rank's process and
+records exactly one entry — the collective's MPI name — in the rank's
+``MpiStats`` (internal point-to-point calls are suppressed, as Intel
+MPI's profile does).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..errors import ReproError
+from ..sim import AllOf
+from .communicator import MpiRank
+
+#: control-message payload size used by synchronization rounds
+CTRL = 16
+
+
+def _tag(op: str, seq: int, extra=None):
+    return ("coll", op, seq, extra)
+
+
+def _timed(name: str):
+    """Decorator: wrap a collective generator with stats push/pop/record."""
+    def deco(fn):
+        def wrapper(rank: MpiRank, *args, **kwargs):
+            t0 = rank.sim.now
+            rank.stats.push(name)
+            try:
+                result = yield from fn(rank, *args, **kwargs)
+            finally:
+                rank.stats.pop()
+            rank.stats.record(name, rank.sim.now - t0)
+            return result
+        wrapper.__name__ = fn.__name__
+        wrapper.__doc__ = fn.__doc__
+        return wrapper
+    return deco
+
+
+@_timed("Barrier")
+def barrier(rank: MpiRank):
+    """Dissemination barrier: ceil(log2 P) rounds."""
+    seq = rank.next_seq("barrier")
+    size, me = rank.size, rank.rank
+    k = 1
+    while k < size:
+        dst = (me + k) % size
+        src = (me - k) % size
+        rreq = rank.irecv(src, _tag("bar", seq, k), CTRL)
+        sreq = yield from rank.isend(dst, _tag("bar", seq, k), CTRL)
+        yield AllOf(rank.sim, [rreq.event, sreq.event])
+        k *= 2
+    return None
+
+
+@_timed("Bcast")
+def bcast(rank: MpiRank, nbytes: int, root: int = 0, payload=None):
+    """Binomial-tree broadcast; returns the payload at every rank."""
+    seq = rank.next_seq("bcast")
+    size = rank.size
+    vrank = (rank.rank - root) % size       # root becomes virtual rank 0
+    value = payload if rank.rank == root else None
+    mask = 1
+    while mask < size:
+        mask <<= 1
+    mask >>= 1
+    received = rank.rank == root
+    while mask >= 1:
+        if vrank % (mask * 2) == 0 and vrank + mask < size and received:
+            dst = (vrank + mask + root) % size
+            sreq = yield from rank.isend(dst, _tag("bcast", seq, mask),
+                                         nbytes, value)
+            yield sreq.event
+        elif vrank % (mask * 2) == mask and not received:
+            src = (vrank - mask + root) % size
+            req = yield from rank.recv(src, _tag("bcast", seq, mask), nbytes)
+            value = req.payload
+            received = True
+        mask >>= 1
+    return value
+
+
+@_timed("Allreduce")
+def allreduce(rank: MpiRank, nbytes: int, value,
+              op: Callable = lambda a, b: a + b):
+    """Recursive-doubling allreduce (with the standard remainder folding
+    for non-power-of-two P).  Returns the reduction at every rank."""
+    seq = rank.next_seq("allreduce")
+    size, me = rank.size, rank.rank
+    pof2 = 1
+    while pof2 * 2 <= size:
+        pof2 *= 2
+    rem = size - pof2
+    acc = value
+    in_game = True
+    newrank = me
+    if me < 2 * rem:                      # fold remainder ranks
+        if me % 2 == 0:
+            sreq = yield from rank.isend(me + 1, _tag("ar", seq, "pre"),
+                                         nbytes, acc)
+            yield sreq.event
+            in_game = False
+        else:
+            req = yield from rank.recv(me - 1, _tag("ar", seq, "pre"), nbytes)
+            acc = op(acc, req.payload)
+            newrank = me // 2
+    else:
+        newrank = me - rem
+    if in_game:
+        mask = 1
+        while mask < pof2:
+            pnew = newrank ^ mask
+            partner = pnew * 2 + 1 if pnew < rem else pnew + rem
+            rreq = rank.irecv(partner, _tag("ar", seq, mask), nbytes)
+            sreq = yield from rank.isend(partner, _tag("ar", seq, mask),
+                                         nbytes, acc)
+            yield AllOf(rank.sim, [rreq.event, sreq.event])
+            acc = op(acc, rreq.payload)
+            mask *= 2
+    if me < 2 * rem:                      # unfold
+        if me % 2 == 1:
+            sreq = yield from rank.isend(me - 1, _tag("ar", seq, "post"),
+                                         nbytes, acc)
+            yield sreq.event
+        else:
+            req = yield from rank.recv(me + 1, _tag("ar", seq, "post"),
+                                       nbytes)
+            acc = req.payload
+    return acc
+
+
+@_timed("Reduce")
+def reduce(rank: MpiRank, nbytes: int, value, root: int = 0,
+           op: Callable = lambda a, b: a + b):
+    """Binomial-tree reduce; returns the result at ``root``, else None."""
+    seq = rank.next_seq("reduce")
+    size = rank.size
+    vrank = (rank.rank - root) % size
+    acc = value
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            dst = ((vrank & ~mask) + root) % size
+            sreq = yield from rank.isend(dst, _tag("red", seq, mask),
+                                         nbytes, acc)
+            yield sreq.event
+            break
+        partner = vrank | mask
+        if partner < size:
+            req = yield from rank.recv((partner + root) % size,
+                                       _tag("red", seq, mask), nbytes)
+            acc = op(acc, req.payload)
+        mask <<= 1
+    return acc if rank.rank == root else None
+
+
+@_timed("Allgather")
+def allgather(rank: MpiRank, nbytes: int, value):
+    """Ring allgather; returns every rank's contribution, indexed by rank."""
+    seq = rank.next_seq("allgather")
+    size, me = rank.size, rank.rank
+    values: List = [None] * size
+    values[me] = value
+    right, left = (me + 1) % size, (me - 1) % size
+    carry = (me, value)
+    for step in range(size - 1):
+        rreq = rank.irecv(left, _tag("ag", seq, step), nbytes)
+        sreq = yield from rank.isend(right, _tag("ag", seq, step),
+                                     nbytes, carry)
+        yield AllOf(rank.sim, [rreq.event, sreq.event])
+        carry = rreq.payload
+        values[carry[0]] = carry[1]
+    return values
+
+
+@_timed("Alltoallv")
+def alltoallv(rank: MpiRank, send_sizes: Sequence[int],
+              payloads: Optional[Sequence] = None):
+    """Pairwise-exchange alltoallv; ``send_sizes[i]`` bytes go to rank i.
+    Returns the received payloads, indexed by source rank."""
+    size, me = rank.size, rank.rank
+    if len(send_sizes) != size:
+        raise ReproError(f"alltoallv needs {size} sizes, got {len(send_sizes)}")
+    seq = rank.next_seq("alltoallv")
+    received: List = [None] * size
+    received[me] = payloads[me] if payloads is not None else None
+    for step in range(1, size):
+        dst = (me + step) % size
+        src = (me - step) % size
+        rreq = rank.irecv(src, _tag("a2av", seq, step), max(send_sizes) + 1)
+        sreq = yield from rank.isend(
+            dst, _tag("a2av", seq, step), max(1, send_sizes[dst]),
+            payloads[dst] if payloads is not None else None)
+        yield AllOf(rank.sim, [rreq.event, sreq.event])
+        received[src] = rreq.payload
+    return received
+
+
+@_timed("Scan")
+def scan(rank: MpiRank, nbytes: int, value,
+         op: Callable = lambda a, b: a + b):
+    """Inclusive prefix scan (recursive doubling)."""
+    seq = rank.next_seq("scan")
+    size, me = rank.size, rank.rank
+    result = value
+    partial = value
+    mask = 1
+    while mask < size:
+        events = []
+        rreq = None
+        if me + mask < size:
+            sreq = yield from rank.isend(me + mask, _tag("scan", seq, mask),
+                                         nbytes, partial)
+            events.append(sreq.event)
+        if me - mask >= 0:
+            rreq = rank.irecv(me - mask, _tag("scan", seq, mask), nbytes)
+            events.append(rreq.event)
+        if events:
+            yield AllOf(rank.sim, events)
+        if rreq is not None:
+            partial = op(rreq.payload, partial)
+            result = op(rreq.payload, result)
+        mask <<= 1
+    return result
+
+
+@_timed("Cart_create")
+def cart_create(rank: MpiRank, dims: Sequence[int]):
+    """MPI_Cart_create with reorder; returns this rank's coordinates."""
+    size = rank.size
+    total = 1
+    for d in dims:
+        total *= d
+    if total != size:
+        raise ReproError(f"cart dims {tuple(dims)} != world size {size}")
+    yield from allgather(rank, 64, rank.rank)
+    yield from rank.compute(2e-7 * size)    # reorder bookkeeping
+    yield from barrier(rank)
+    coords = []
+    rem = rank.rank
+    for d in reversed(dims):
+        coords.append(rem % d)
+        rem //= d
+    coords.reverse()
+    return coords

@@ -1,0 +1,91 @@
+"""``I_MPI_STATS``-style MPI call profiling.
+
+Accumulates per-call time summed over all ranks, and renders the Table 1
+columns: cumulative Time, % of MPI time, % of total runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class StatRow:
+    """One row of the communication profile."""
+
+    call: str          # e.g. "Wait" for MPI_Wait
+    time: float        # cumulative seconds over all ranks
+    pct_mpi: float     # share of total MPI time
+    pct_runtime: float # share of total runtime
+
+
+class MpiStats:
+    """Per-call accumulation across ranks."""
+
+    def __init__(self) -> None:
+        self._time: Dict[str, float] = {}
+        self._calls: Dict[str, int] = {}
+        self._runtime: float = 0.0
+        self._ctx: List[str] = []
+
+    def push(self, name: str) -> None:
+        """Enter a collective: suppress recording of its internal
+        point-to-point calls (Intel MPI reports only the collective)."""
+        self._ctx.append(name)
+
+    def pop(self) -> None:
+        """Leave the innermost collective context."""
+        self._ctx.pop()
+
+    def record(self, call: str, elapsed: float) -> None:
+        """Account one call's elapsed time (suppressed inside collectives)."""
+        if self._ctx:
+            return  # internal to a collective; the collective records itself
+        self._time[call] = self._time.get(call, 0.0) + elapsed
+        self._calls[call] = self._calls.get(call, 0) + 1
+
+    def add_runtime(self, elapsed: float) -> None:
+        """Account one rank's total runtime (for the %Rt column)."""
+        self._runtime += elapsed
+
+    def merge(self, other: "MpiStats") -> None:
+        """Fold another rank's profile into this one."""
+        for call, t in other._time.items():
+            self._time[call] = self._time.get(call, 0.0) + t
+        for call, n in other._calls.items():
+            self._calls[call] = self._calls.get(call, 0) + n
+        self._runtime += other._runtime
+
+    @property
+    def total_mpi_time(self) -> float:
+        return sum(self._time.values())
+
+    @property
+    def total_runtime(self) -> float:
+        return self._runtime
+
+    def time_in(self, call: str) -> float:
+        """Cumulative seconds recorded for one call."""
+        return self._time.get(call, 0.0)
+
+    def calls_to(self, call: str) -> int:
+        """Number of recorded invocations of one call."""
+        return self._calls.get(call, 0)
+
+    def top(self, n: int = 5) -> List[StatRow]:
+        """The Table 1 view: top-n calls by cumulative time."""
+        total_mpi = self.total_mpi_time or 1.0
+        total_rt = self._runtime or 1.0
+        rows = sorted(self._time.items(), key=lambda kv: -kv[1])[:n]
+        return [StatRow(call=call, time=t, pct_mpi=100.0 * t / total_mpi,
+                        pct_runtime=100.0 * t / total_rt)
+                for call, t in rows]
+
+    def render(self, n: int = 5, label: str = "") -> str:
+        """Plain-text top-n profile table."""
+        lines = [f"Call (MPI_)      Time(s)    %MPI     %Rt   {label}"]
+        for row in self.top(n):
+            lines.append(f"{row.call:<14s} {row.time:9.4f} {row.pct_mpi:7.2f} "
+                         f"{row.pct_runtime:7.2f}")
+        return "\n".join(lines)

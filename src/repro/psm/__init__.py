@@ -1,0 +1,16 @@
+"""Performance Scaled Messaging (PSM): the user-level OmniPath library.
+
+Endpoint-based communication with matched queues (section 2.2.1):
+
+* sends below the 64KB threshold go out via PIO, entirely from user space;
+* larger sends use SDMA through ``writev()`` on the device file;
+* receives are eager (library buffers + copy) below the threshold, and
+  expected (direct data placement after TID registration via ``ioctl``)
+  above it — the two syscall paths that trigger offloading on McKernel.
+"""
+
+from .endpoint import Endpoint, EndpointAddress
+from .mq import MatchedQueue, MqRequest, TagMatcher
+
+__all__ = ["Endpoint", "EndpointAddress", "MatchedQueue", "MqRequest",
+           "TagMatcher"]

@@ -1,0 +1,280 @@
+"""PSM endpoints: the user-level communication API.
+
+One endpoint per MPI rank: it opens the HFI device file (offloaded on
+McKernel), owns a receive context, a matched queue and two progress
+workers (tx: SDMA submissions, rx: TID registrations).  All protocol
+decisions — PIO vs SDMA at the 64KB threshold, eager vs expected receive,
+window pipelining — live here, exactly the layering of Figure 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple, Optional, Tuple
+
+from ..errors import ReproError
+from ..hw.hfi import HFIDevice, Packet
+from ..kernels.base import Task
+from ..linux.hfi1 import ioctls as ioc
+from ..params import Params
+from ..sim import Event, Simulator, Tracer
+from .mq import MatchedQueue, MqRequest, TagMatcher, UnexpectedMessage
+from .progress import ProgressWorker
+from .transfer import (Cts, RecvFlow, Rts, SendFlow, window_count,
+                       window_extent)
+
+
+class EndpointAddress(NamedTuple):
+    """Network-wide endpoint identity."""
+
+    node_id: int
+    ctxt_id: int
+
+
+class Endpoint:
+    """One PSM endpoint bound to a task and an HFI."""
+
+    def __init__(self, sim: Simulator, params: Params, hfi: HFIDevice,
+                 task: Task, tracer: Optional[Tracer] = None,
+                 device_path: str = "/dev/hfi1_0"):
+        self.sim = sim
+        self.params = params
+        self.hfi = hfi
+        self.task = task
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.device_path = device_path
+        self.mq = MatchedQueue(sim)
+        self.tx = ProgressWorker(sim, f"{task.name}.tx")
+        self.rx = ProgressWorker(sim, f"{task.name}.rx")
+        self.fd: Optional[int] = None
+        self.addr: Optional[EndpointAddress] = None
+        self._send_flows: Dict[Tuple, SendFlow] = {}
+        self._recv_flows: Dict[Tuple, RecvFlow] = {}
+        self._msg_counter = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def open(self):
+        """Generator: open the device, acquire a context, map the device
+        (all slow path — offloaded on McKernel)."""
+        self.fd = yield from self.task.syscall("open", self.device_path)
+        info = yield from self.task.syscall(
+            "ioctl", self.fd, ioc.HFI1_IOCTL_ASSIGN_CTXT, None)
+        ctxt_id = info["ctxt"]
+        # PIO send buffers / credit window (OS-bypass window for PIO)
+        yield from self.task.syscall("mmap", self.fd, 0x10_0000)
+        self.addr = EndpointAddress(self.hfi.node_id, ctxt_id)
+        self.hfi.context(ctxt_id).on_packet = self._rx_packet
+        # McKernel+HFI pays extra per-process setup: kernel-level mappings
+        # of driver internals (visible as MPI_Init time in Table 1)
+        kernel = self.task.kernel
+        pico = getattr(kernel, "pico", None)
+        if pico is not None and pico.lookup(self.device_path) is not None:
+            yield self.sim.timeout(self.params.syscall.pico_init_cost)
+        return self.addr
+
+    def close(self):
+        """Generator: close the device file."""
+        if self.fd is None:
+            raise ReproError("endpoint not open")
+        yield from self.task.syscall("close", self.fd)
+        self.fd = None
+
+    # -- send API ---------------------------------------------------------------
+
+    def mq_isend(self, dest: EndpointAddress, tag, buffer: int, nbytes: int,
+                 payload=None):
+        """Generator: start a send, return the MqRequest.
+
+        Eager (PIO) sends complete before returning; rendezvous sends
+        complete when every window's SDMA transfer has finished.
+        """
+        if self.addr is None:
+            raise ReproError("endpoint not open")
+        req = MqRequest(self.sim, "send")
+        yield self.sim.timeout(self.params.psm.mq_overhead)
+        if nbytes <= self.params.nic.pio_threshold:
+            pkt = Packet(kind="eager", src_node=self.addr.node_id,
+                         dst_node=dest.node_id, dst_ctxt=dest.ctxt_id,
+                         nbytes=nbytes, tag=("eager", self.addr, tag),
+                         payload=payload)
+            yield from self.hfi.pio_send(pkt)
+            self.tracer.count("psm.eager_sends")
+            req.complete(self.addr, tag, nbytes)
+            return req
+        if nbytes <= self.params.psm.expected_threshold:
+            # eager over SDMA: one writev, no TID registration; the
+            # receiver copies out of library buffers
+            done = Event(self.sim)
+            meta = {"dst_node": dest.node_id, "dst_ctxt": dest.ctxt_id,
+                    "kind": "eager", "tag": ("eager", self.addr, tag),
+                    "payload": payload, "completion": done}
+            yield from self.task.syscall("writev", self.fd,
+                                         [meta, (buffer, nbytes)])
+            self.tracer.count("psm.eager_sdma_sends")
+            done.add_callback(
+                lambda _e: req.complete(self.addr, tag, nbytes))
+            return req
+        msg_id = (self.addr, self._msg_counter)
+        self._msg_counter += 1
+        flow = SendFlow(msg_id=msg_id, buffer=buffer, total=nbytes,
+                        windows=window_count(nbytes,
+                                             self.params.psm.window_size),
+                        request=req)
+        self._send_flows[msg_id] = flow
+        rts = Rts(msg_id, self.addr, tag, nbytes, payload)
+        pkt = Packet(kind="rts", src_node=self.addr.node_id,
+                     dst_node=dest.node_id, dst_ctxt=dest.ctxt_id,
+                     nbytes=self.params.psm.ctrl_bytes, payload=rts)
+        yield from self.hfi.pio_send(pkt)
+        self.tracer.count("psm.rndv_sends")
+        return req
+
+    def mq_send(self, dest: EndpointAddress, tag, buffer: int, nbytes: int,
+                payload=None):
+        """Generator: blocking send."""
+        req = yield from self.mq_isend(dest, tag, buffer, nbytes, payload)
+        yield req.event
+        return req
+
+    # -- receive API -----------------------------------------------------------------
+
+    def mq_irecv(self, matcher: TagMatcher,
+                 buffer: Optional[Tuple[int, int]] = None) -> MqRequest:
+        """Post a receive (non-blocking, no syscalls in the caller)."""
+        req, msg = self.mq.post_recv(matcher, buffer)
+        if msg is not None:
+            if msg.rts is not None:
+                self._start_recv_flow(msg.rts, req, buffer)
+            else:
+                self.sim.process(self._eager_deliver(
+                    req, msg.source, msg.tag, msg.nbytes, msg.payload))
+        return req
+
+    # -- packet demux (called at wire arrival) ----------------------------------------
+
+    def _rx_packet(self, pkt: Packet) -> None:
+        if pkt.kind == "eager":
+            _, src, tag = pkt.tag
+            req = self.mq.match_arrival(src, tag)
+            if req is not None:
+                self.sim.process(self._eager_deliver(
+                    req, src, tag, pkt.nbytes, pkt.payload))
+            else:
+                self.mq.add_unexpected(UnexpectedMessage(
+                    src, tag, pkt.nbytes, payload=pkt.payload))
+                self.tracer.count("psm.unexpected")
+        elif pkt.kind == "rts":
+            rts: Rts = pkt.payload
+            req = self.mq.match_arrival(rts.source, rts.tag)
+            if req is not None:
+                self._start_recv_flow(rts, req, req.buffer)
+            else:
+                self.mq.add_unexpected(UnexpectedMessage(
+                    rts.source, rts.tag, rts.total, rts=rts))
+                self.tracer.count("psm.unexpected")
+        elif pkt.kind == "cts":
+            cts: Cts = pkt.payload
+            self.tx.submit(self._send_window(cts))
+        elif pkt.kind == "expected":
+            _, msg_id, widx = pkt.tag
+            self._window_arrived(msg_id, widx)
+        else:
+            raise ReproError(f"unknown packet kind {pkt.kind!r}")
+
+    # -- eager data path -----------------------------------------------------------------
+
+    def _eager_deliver(self, req: MqRequest, src, tag, nbytes, payload):
+        """Copy from library buffers to the application buffer.
+
+        The copy is pipelined with arrival (PSM copies fragment by
+        fragment), so only the rate mismatch versus the link plus one
+        fragment tail is serial."""
+        copy_bw = self.params.nic.eager_copy_bandwidth
+        link_bw = self.params.nic.link_bandwidth
+        tail = min(nbytes, 8192) / copy_bw
+        lag = max(0.0, nbytes * (1.0 / copy_bw - 1.0 / link_bw))
+        yield self.sim.timeout(self.params.psm.mq_overhead + tail + lag)
+        req.complete(src, tag, nbytes, payload)
+
+    # -- rendezvous receive side -------------------------------------------------------------
+
+    def _start_recv_flow(self, rts: Rts, req: MqRequest,
+                         buffer: Optional[Tuple[int, int]]) -> None:
+        if buffer is None:
+            raise ReproError(
+                f"rendezvous message {rts.msg_id} needs a posted buffer")
+        vaddr, length = buffer
+        if length < rts.total:
+            raise ReproError(f"receive buffer of {length}B too small for "
+                             f"{rts.total}B message")
+        flow = RecvFlow(rts=rts, buffer=vaddr, request=req,
+                        windows=window_count(rts.total,
+                                             self.params.psm.window_size))
+        self._recv_flows[rts.msg_id] = flow
+        for _ in range(min(self.params.psm.prefetch_windows, flow.windows)):
+            self._register_next(flow)
+
+    def _register_next(self, flow: RecvFlow) -> None:
+        if flow.next_register >= flow.windows:
+            return
+        w = flow.next_register
+        flow.next_register += 1
+        self.rx.submit(self._register_window(flow, w))
+
+    def _register_window(self, flow: RecvFlow, w: int):
+        """rx-worker job: TID_UPDATE + CTS for window ``w``."""
+        offset, length = window_extent(flow.rts.total,
+                                       self.params.psm.window_size, w)
+        yield self.sim.timeout(self.params.psm.rndv_window_overhead)
+        tids = yield from self.task.syscall(
+            "ioctl", self.fd, ioc.HFI1_IOCTL_TID_UPDATE,
+            {"vaddr": flow.buffer + offset, "length": length})
+        flow.tids_by_window[w] = tuple(tids)
+        self.tracer.record("psm.tids_per_window", len(tids))
+        cts = Cts(flow.rts.msg_id, w, offset, length, tuple(tids), self.addr)
+        pkt = Packet(kind="cts", src_node=self.addr.node_id,
+                     dst_node=flow.rts.source.node_id,
+                     dst_ctxt=flow.rts.source.ctxt_id,
+                     nbytes=self.params.psm.ctrl_bytes, payload=cts)
+        yield from self.hfi.pio_send(pkt)
+
+    def _window_arrived(self, msg_id: Tuple, widx: int) -> None:
+        flow = self._recv_flows.get(msg_id)
+        if flow is None:
+            raise ReproError(f"expected data for unknown message {msg_id}")
+        flow.arrived += 1
+        tids = flow.tids_by_window.pop(widx)
+        # TID_FREE is deferred off the critical path but still serializes
+        # with upcoming registrations on the progress worker
+        self.rx.submit(self._free_tids(tids))
+        self._register_next(flow)
+        if flow.all_arrived():
+            del self._recv_flows[msg_id]
+            flow.request.complete(flow.rts.source, flow.rts.tag,
+                                  flow.rts.total, flow.rts.payload)
+
+    def _free_tids(self, tids):
+        yield from self.task.syscall(
+            "ioctl", self.fd, ioc.HFI1_IOCTL_TID_FREE, {"tids": list(tids)})
+
+    # -- rendezvous send side ------------------------------------------------------------------
+
+    def _send_window(self, cts: Cts):
+        """tx-worker job: SDMA writev for one granted window."""
+        flow = self._send_flows.get(cts.msg_id)
+        if flow is None:
+            raise ReproError(f"CTS for unknown message {cts.msg_id}")
+        done = Event(self.sim)
+        meta = {"dst_node": cts.dest.node_id, "dst_ctxt": cts.dest.ctxt_id,
+                "kind": "expected", "tids": cts.tids,
+                "tag": ("win", cts.msg_id, cts.window), "completion": done}
+        yield from self.task.syscall(
+            "writev", self.fd,
+            [meta, (flow.buffer + cts.offset, cts.length)])
+        flow.submitted += 1
+        done.add_callback(lambda _e: self._sdma_complete(flow))
+
+    def _sdma_complete(self, flow: SendFlow) -> None:
+        if flow.window_complete():
+            del self._send_flows[flow.msg_id]
+            flow.request.complete(self.addr, None, flow.total)

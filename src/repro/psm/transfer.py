@@ -1,0 +1,101 @@
+"""PSM transfer protocols: eager (PIO) and rendezvous (SDMA + TIDs).
+
+Rendezvous for a message of N bytes with window size W (section 2.2.1):
+
+    sender                          receiver
+    ------                          --------
+    RTS(msg_id, total) --PIO-->     match against MQ / unexpected queue
+                                    for up to ``prefetch`` windows ahead:
+                                        ioctl(TID_UPDATE)  [syscall!]
+    <--PIO-- CTS(msg_id, w, tids)
+    writev(window w)  [syscall!]
+    ...SDMA...         --wire-->    window w placed directly (TIDs)
+                                    ioctl(TID_FREE)  [syscall, deferred]
+                                    register/CTS next window
+    (all windows complete)          (all windows arrived -> recv done)
+
+Both syscall sites are exactly the operations the paper's PicoDriver ports
+to the LWK.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class Rts:
+    """Ready-to-send control message."""
+
+    msg_id: Tuple
+    source: Tuple[int, int]          # sender EndpointAddress
+    tag: object
+    total: int
+    payload: object = None
+
+
+@dataclass(frozen=True)
+class Cts:
+    """Clear-to-send for one window."""
+
+    msg_id: Tuple
+    window: int
+    offset: int
+    length: int
+    tids: Tuple[int, ...]
+    dest: Tuple[int, int]            # receiver EndpointAddress
+
+
+def window_count(total: int, window_size: int) -> int:
+    """Number of rendezvous windows for a message size."""
+    if total <= 0:
+        raise ReproError(f"bad rendezvous size {total}")
+    return -(-total // window_size)
+
+
+def window_extent(total: int, window_size: int, w: int) -> Tuple[int, int]:
+    """(offset, length) of window ``w``."""
+    offset = w * window_size
+    if offset >= total:
+        raise ReproError(f"window {w} beyond message of {total} bytes")
+    return offset, min(window_size, total - offset)
+
+
+@dataclass
+class SendFlow:
+    """Sender-side state of one rendezvous message."""
+
+    msg_id: Tuple
+    buffer: int                      # send buffer vaddr
+    total: int
+    windows: int
+    request: object                  # MqRequest to complete
+    sdma_done: int = 0
+    submitted: int = 0
+
+    def window_complete(self) -> bool:
+        """Account one SDMA completion; True when the message is done."""
+        self.sdma_done += 1
+        if self.sdma_done > self.windows:
+            raise ReproError(f"msg {self.msg_id}: too many completions")
+        return self.sdma_done == self.windows
+
+
+@dataclass
+class RecvFlow:
+    """Receiver-side state of one expected-receive message."""
+
+    rts: Rts
+    buffer: int                      # receive buffer vaddr
+    request: object                  # MqRequest to complete
+    windows: int
+    next_register: int = 0
+    arrived: int = 0
+    tids_by_window: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+
+    def all_arrived(self) -> bool:
+        """True once every window has been placed."""
+        return self.arrived == self.windows

@@ -1,0 +1,196 @@
+"""Event queue and simulator clock.
+
+Design notes
+------------
+* Events carry a list of callbacks; triggering an event schedules it on the
+  simulator queue, and callbacks run when the queue reaches it.  This is the
+  SimPy model and makes process wake-up ordering deterministic.
+* The heap is ordered by ``(time, seq)`` where ``seq`` is a monotonically
+  increasing tie-breaker, so same-time events fire in schedule order.
+* The engine never consults wall-clock time or global randomness; a run is a
+  pure function of its inputs (guide: "make it work reliably" before fast).
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, List, Optional
+
+
+class SimError(Exception):
+    """Raised for misuse of the simulation engine."""
+
+
+class Event:
+    """A one-shot occurrence with a value (or an exception) and callbacks.
+
+    Lifecycle: *pending* -> ``succeed``/``fail`` (-> *triggered*, scheduled)
+    -> callbacks run (-> *processed*).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "_triggered", "_processed")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._triggered = False
+        self._processed = False
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        if not self._triggered:
+            raise SimError("event not yet triggered")
+        return self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimError("event not yet triggered")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exc
+
+    # -- triggering ----------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimError(f"{self!r} already triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._post(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception (propagates into waiters)."""
+        if self._triggered:
+            raise SimError(f"{self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise SimError(f"fail() needs an exception, got {exc!r}")
+        self._triggered = True
+        self._exc = exc
+        self.sim._post(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event is processed.
+
+        If the event was already processed the callback runs immediately —
+        this lets late waiters join completed operations.
+        """
+        if self.callbacks is None:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        for fn in callbacks:  # type: ignore[union-attr]
+            fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else (
+            "triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimError(f"negative timeout: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        sim._post(self, delay)
+
+
+class Simulator:
+    """The event loop: a clock plus a (time, seq)-ordered event heap."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list = []
+        self._seq = count()
+
+    # -- scheduling ------------------------------------------------------
+
+    def _post(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._heap, (self.now + delay, next(self._seq), event))
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator) -> "Process":
+        """Run a generator as a simulation process."""
+        from .process import Process
+        return Process(self, generator)
+
+    # -- running ---------------------------------------------------------
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` if the queue is empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimError("step() on an empty event queue")
+        when, _, event = heapq.heappop(self._heap)
+        self.now = when
+        event._run_callbacks()
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run until the queue drains, ``until`` seconds pass, or the
+        ``until`` event triggers.  Returns the ``until`` event's value when
+        given an event.
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            done = [False]
+            until.add_callback(lambda e: done.__setitem__(0, True))
+            while not done[0]:
+                if not self._heap:
+                    raise SimError("run(until=event): queue drained before "
+                                   "the event triggered (deadlock?)")
+                self.step()
+            if until._exc is not None:
+                raise until._exc
+            return until._value
+        horizon = float(until)
+        if horizon < self.now:
+            raise SimError(f"run until {horizon} is in the past (now={self.now})")
+        while self._heap and self._heap[0][0] <= horizon:
+            self.step()
+        self.now = horizon
+        return None

@@ -1,0 +1,36 @@
+"""Named, reproducible random streams.
+
+Every stochastic component asks the factory for a stream keyed by a stable
+name (``("noise", node_id, core_id)``).  Streams are independent PCG64
+generators derived from the root seed, so adding a component never perturbs
+the draws of another — runs stay comparable across code changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Union
+
+import numpy as np
+
+Key = Union[str, int]
+
+
+class RngFactory:
+    """Derives independent ``numpy`` generators from a root seed."""
+
+    def __init__(self, root_seed: int):
+        self.root_seed = int(root_seed)
+
+    def stream(self, *key: Key) -> np.random.Generator:
+        """A generator unique to ``key`` (stable across runs and platforms)."""
+        digest = hashlib.sha256(
+            repr((self.root_seed,) + tuple(key)).encode()).digest()
+        seed_words = np.frombuffer(digest[:16], dtype=np.uint32)
+        return np.random.default_rng(np.random.SeedSequence(seed_words.tolist()))
+
+    def spawn(self, *key: Key) -> "RngFactory":
+        """A sub-factory whose streams are disjoint from this factory's."""
+        digest = hashlib.sha256(
+            repr(("spawn", self.root_seed) + tuple(key)).encode()).digest()
+        return RngFactory(int.from_bytes(digest[:8], "little"))

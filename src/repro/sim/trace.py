@@ -1,0 +1,104 @@
+"""Lightweight counters and accumulators for simulation statistics.
+
+The tracer is the one sink every layer reports into: syscall timings for the
+kernel profiler (Figures 8-9), MPI per-call times for ``I_MPI_STATS``
+(Table 1), SDMA descriptor counts for Figure 4 validation, and so on.
+Recording is cheap (dict update) and can be disabled wholesale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class Accumulator:
+    """Streaming count/sum/min/max of a scalar series."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def add(self, value: float) -> None:
+        """Fold one value into the running statistics."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class Tracer:
+    """Named counters, accumulators and optional (time, value) series."""
+
+    enabled: bool = True
+    keep_series: bool = False
+    counters: Dict[str, int] = field(default_factory=dict)
+    accs: Dict[str, Accumulator] = field(default_factory=dict)
+    series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment a named counter."""
+        if self.enabled:
+            self.counters[name] = self.counters.get(name, 0) + n
+
+    def record(self, name: str, value: float, t: Optional[float] = None) -> None:
+        """Add a value to a named accumulator (and optional series)."""
+        if not self.enabled:
+            return
+        acc = self.accs.get(name)
+        if acc is None:
+            acc = self.accs[name] = Accumulator()
+        acc.add(value)
+        if self.keep_series and t is not None:
+            self.series.setdefault(name, []).append((t, value))
+
+    def get_count(self, name: str) -> int:
+        """Current value of a counter (0 if unused)."""
+        return self.counters.get(name, 0)
+
+    def get_total(self, name: str) -> float:
+        """Sum recorded under a name (0 if unused)."""
+        acc = self.accs.get(name)
+        return acc.total if acc else 0.0
+
+    def get_mean(self, name: str) -> float:
+        """Mean recorded under a name (0 if unused)."""
+        acc = self.accs.get(name)
+        return acc.mean if acc else 0.0
+
+    def totals(self, prefix: str = "") -> Dict[str, float]:
+        """``{name: total}`` for all accumulators matching ``prefix``."""
+        return {name: acc.total for name, acc in self.accs.items()
+                if name.startswith(prefix)}
+
+    def merge(self, other: "Tracer") -> None:
+        """Fold another tracer's statistics into this one."""
+        for name, n in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + n
+        for name, acc in other.accs.items():
+            mine = self.accs.get(name)
+            if mine is None:
+                mine = self.accs[name] = Accumulator()
+            mine.count += acc.count
+            mine.total += acc.total
+            mine.min = min(mine.min, acc.min)
+            mine.max = max(mine.max, acc.max)
+
+    def report(self) -> Dict[str, Dict[str, float]]:
+        """Flat report suitable for printing or assertions."""
+        out: Dict[str, Dict[str, float]] = {}
+        for name, n in sorted(self.counters.items()):
+            out[name] = {"count": float(n)}
+        for name, acc in sorted(self.accs.items()):
+            out[name] = {"count": float(acc.count), "total": acc.total,
+                         "mean": acc.mean, "min": acc.min, "max": acc.max}
+        return out

@@ -1,0 +1,76 @@
+"""Unit helpers shared across the simulator.
+
+All simulated time is kept in **seconds** (floats); all sizes in **bytes**
+(ints).  These helpers exist so that calibration constants and test
+expectations read like the paper ("64KB threshold", "10kB SDMA request",
+"4MB buffer") rather than as raw powers of two.
+"""
+
+from __future__ import annotations
+
+# --- sizes -----------------------------------------------------------------
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+#: x86_64 base page size used by both kernels in the paper.
+PAGE_SIZE = 4 * KiB
+#: x86_64 large ("huge") page size McKernel prefers for anonymous memory.
+LARGE_PAGE_SIZE = 2 * MiB
+
+# --- times -----------------------------------------------------------------
+
+USEC = 1e-6
+MSEC = 1e-3
+NSEC = 1e-9
+
+
+def pages_for(nbytes: int, page_size: int = PAGE_SIZE) -> int:
+    """Number of pages of ``page_size`` needed to back ``nbytes``."""
+    if nbytes < 0:
+        raise ValueError(f"negative size: {nbytes}")
+    return -(-nbytes // page_size) if nbytes else 0
+
+
+def align_down(value: int, align: int) -> int:
+    """Largest multiple of ``align`` that is <= ``value``."""
+    return value - (value % align)
+
+
+def align_up(value: int, align: int) -> int:
+    """Smallest multiple of ``align`` that is >= ``value``."""
+    return -(-value // align) * align
+
+
+def fmt_size(nbytes: float) -> str:
+    """Human-readable size, IMB style (``4MB``, ``64KB``, ``8B``)."""
+    if nbytes >= GiB:
+        return _fmt(nbytes / GiB, "GB")
+    if nbytes >= MiB:
+        return _fmt(nbytes / MiB, "MB")
+    if nbytes >= KiB:
+        return _fmt(nbytes / KiB, "KB")
+    return f"{int(nbytes)}B"
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-readable duration (``3.2us``, ``1.5ms``, ``2.0s``)."""
+    if seconds >= 1.0:
+        return f"{seconds:.3g}s"
+    if seconds >= MSEC:
+        return f"{seconds / MSEC:.3g}ms"
+    if seconds >= USEC:
+        return f"{seconds / USEC:.3g}us"
+    return f"{seconds / NSEC:.3g}ns"
+
+
+def fmt_bandwidth(bytes_per_second: float) -> str:
+    """Human-readable bandwidth in MB/s (the unit of the paper's Figure 4)."""
+    return f"{bytes_per_second / 1e6:.1f}MB/s"
+
+
+def _fmt(value: float, suffix: str) -> str:
+    if value == int(value):
+        return f"{int(value)}{suffix}"
+    return f"{value:.3g}{suffix}"

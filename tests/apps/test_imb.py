@@ -1,0 +1,57 @@
+"""Tests for the IMB micro-benchmark suite (PingPong, PingPing, SendRecv)."""
+
+import pytest
+
+from repro.apps import PingPing, PingPong, SendRecv
+from repro.config import ALL_CONFIGS, OSConfig
+from repro.experiments import build_machine
+from repro.units import KiB, MiB
+
+SIZES = (8 * KiB, 256 * KiB, 2 * MiB)
+
+
+def test_pingpong_needs_two_nodes():
+    with pytest.raises(ValueError):
+        PingPong(build_machine(1, OSConfig.LINUX))
+
+
+def test_pingpong_bandwidth_monotone():
+    machine = build_machine(2, OSConfig.LINUX)
+    out = PingPong(machine, repetitions=3).run(SIZES)
+    values = [out[s] for s in SIZES]
+    assert values == sorted(values)
+    assert all(v > 0 for v in values)
+
+
+def test_pingping_slower_than_pingpong_per_direction():
+    """Simultaneous sends share the wire: per-direction bandwidth at
+    large sizes cannot beat the unidirectional ping-pong."""
+    pp = PingPong(build_machine(2, OSConfig.LINUX), repetitions=3).run(
+        [4 * MiB])[4 * MiB]
+    bidi = PingPing(build_machine(2, OSConfig.LINUX), repetitions=3).run(
+        [4 * MiB])[4 * MiB]
+    assert bidi < pp
+    assert bidi > 0.3 * pp         # but the engines do overlap work
+
+
+def test_pingping_configs_ordering():
+    values = {}
+    for cfg in ALL_CONFIGS:
+        values[cfg] = PingPing(build_machine(2, cfg),
+                               repetitions=3).run([2 * MiB])[2 * MiB]
+    assert values[OSConfig.MCKERNEL_HFI] > values[OSConfig.MCKERNEL]
+
+
+def test_sendrecv_ring_runs_on_many_nodes():
+    machine = build_machine(4, OSConfig.MCKERNEL_HFI)
+    out = SendRecv(machine, repetitions=2).run([256 * KiB])
+    assert out[256 * KiB] > 0
+    # four ranks exchanged data: TIDs all reclaimed afterwards
+    machine.sim.run()
+    for node in machine.nodes:
+        assert node.node.hfi.tids_in_use == 0
+
+
+def test_sendrecv_needs_two_nodes():
+    with pytest.raises(ValueError):
+        SendRecv(build_machine(1, OSConfig.LINUX))

@@ -1,0 +1,118 @@
+"""Tests of the application signatures and the micro execution driver."""
+
+import pytest
+
+from repro.apps import (ALL_APPS, AppSpec, CollectivePhase, HACC,
+                        HaloExchange, LAMMPS, MemChurn, NEKBONE, QBOX,
+                        SweepPhase, UMT2013, run_micro)
+from repro.apps.base import FileIO
+from repro.config import OSConfig
+from repro.errors import ReproError
+from repro.experiments import build_machine
+from repro.units import KiB
+
+
+def test_all_five_coral_apps_registered():
+    assert set(ALL_APPS) == {"LAMMPS", "Nekbone", "UMT2013", "HACC", "QBOX"}
+
+
+def test_paper_rank_geometries():
+    """Section 4.2's run configurations."""
+    assert (LAMMPS.ranks_per_node, LAMMPS.threads_per_rank) == (64, 2)
+    for spec in (NEKBONE, UMT2013, HACC, QBOX):
+        assert (spec.ranks_per_node, spec.threads_per_rank) == (32, 4)
+
+
+def test_qbox_needs_four_nodes():
+    assert QBOX.min_nodes == 4
+
+
+def test_hacc_builds_cartesian_topology():
+    assert HACC.uses_cart
+    assert not UMT2013.uses_cart
+
+
+def test_umt_is_sweep_dominated():
+    assert any(isinstance(p, SweepPhase) for p in UMT2013.phases)
+    sweep = next(p for p in UMT2013.phases if isinstance(p, SweepPhase))
+    # expected-receive sized: the syscall-heavy path
+    from repro.params import default_params
+    assert sweep.msg_bytes > default_params().psm.expected_threshold
+
+
+def test_qbox_churns_memory():
+    assert any(isinstance(p, MemChurn) for p in QBOX.phases)
+
+
+def test_lammps_halos_stay_on_pio_path():
+    from repro.params import default_params
+    halo = next(p for p in LAMMPS.phases if isinstance(p, HaloExchange))
+    assert halo.msg_bytes <= default_params().nic.pio_threshold
+
+
+def test_spec_validation_rejects_bad_collective():
+    spec = AppSpec(name="bad", ranks_per_node=1, threads_per_rank=1,
+                   iterations=1, compute_seconds=1e-3,
+                   phases=(CollectivePhase("gatherv"),))
+    with pytest.raises(ReproError):
+        spec.validate()
+
+
+def test_ranks_for_weak_scaling():
+    assert UMT2013.ranks_for(8) == 256
+    assert LAMMPS.ranks_for(4) == 256
+
+
+# --- micro driver: the same signatures run on the full DES stack ----------
+
+def tiny_spec(**overrides):
+    base = dict(name="tiny", ranks_per_node=2, threads_per_rank=1,
+                iterations=2, compute_seconds=1e-4,
+                phases=(HaloExchange(neighbors=1, msg_bytes=8 * KiB),
+                        CollectivePhase("allreduce", nbytes=64),
+                        MemChurn(mmaps=1, nbytes=64 * KiB),
+                        FileIO(reads=1)))
+    base.update(overrides)
+    return AppSpec(**base)
+
+
+@pytest.mark.parametrize("cfg", list(OSConfig), ids=lambda c: c.value)
+def test_micro_driver_runs_all_phases(cfg):
+    machine = build_machine(2, cfg)
+    runtime, stats = run_micro(machine, tiny_spec())
+    assert runtime > 2 * 1e-4                 # at least the compute time
+    assert stats.time_in("Init") > 0
+    assert stats.time_in("Allreduce") > 0
+    assert stats.calls_to("Init") == 4
+
+
+def test_micro_driver_sweep_and_collectives():
+    machine = build_machine(2, OSConfig.LINUX)
+    spec = tiny_spec(phases=(
+        SweepPhase(stages=2, msg_bytes=8 * KiB),
+        CollectivePhase("bcast", nbytes=1 * KiB),
+        CollectivePhase("barrier"),
+    ))
+    runtime, stats = run_micro(machine, spec)
+    # sweeps use persistent channels: Start/Wait/Request_free
+    assert stats.time_in("Start") > 0
+    assert stats.time_in("Wait") > 0
+    assert stats.calls_to("Request_free") > 0
+    assert stats.time_in("Bcast") > 0
+    assert stats.time_in("Barrier") > 0
+
+
+def test_micro_driver_compute_scale():
+    machine = build_machine(1, OSConfig.LINUX)
+    spec = tiny_spec(phases=(CollectivePhase("barrier"),),
+                     compute_seconds=1e-3)
+    runtime, _ = run_micro(machine, spec, compute_scale=0.1)
+    machine2 = build_machine(1, OSConfig.LINUX)
+    runtime2, _ = run_micro(machine2, spec)
+    assert runtime < runtime2
+
+
+def test_micro_mckernel_offloads_device_calls():
+    machine = build_machine(2, OSConfig.MCKERNEL)
+    _, stats = run_micro(machine, tiny_spec())
+    assert machine.tracer.get_count("offload.calls") > 0

@@ -1,0 +1,103 @@
+"""Application-level cross-validation: the same AppSpec run through the
+detailed DES (micro backend) and the macro model must agree on the
+qualitative story — which OS wins, and where the time goes."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.apps import AppSpec, CollectivePhase, HaloExchange, run_micro
+from repro.cluster import simulate_app
+from repro.config import ALL_CONFIGS, OSConfig
+from repro.experiments import build_machine
+from repro.params import default_params
+from repro.units import KiB
+
+SPEC = AppSpec(
+    name="xval",
+    ranks_per_node=4,
+    threads_per_rank=1,
+    iterations=2,
+    compute_seconds=2e-3,
+    phases=(
+        HaloExchange(neighbors=2, msg_bytes=320 * KiB),  # expected path
+        CollectivePhase("allreduce", nbytes=8),
+    ),
+    imbalance_cv=0.0,
+)
+
+
+def quiet_params():
+    """Noise off: this validation targets the communication model, and at
+    micro scale (a handful of ranks) a single heavy-tail noise draw would
+    dominate the comparison."""
+    params = default_params()
+    return params.with_overrides(
+        noise=replace(params.noise, tick_rate_hz=0.0, burst_rate_hz=0.0))
+
+
+@pytest.fixture(scope="module")
+def backends():
+    micro = {}
+    macro = {}
+    params = quiet_params()
+    for cfg in ALL_CONFIGS:
+        machine = build_machine(2, cfg, params=params)
+        runtime, stats = run_micro(machine, SPEC)
+        micro[cfg] = (runtime, stats)
+        macro[cfg] = simulate_app(SPEC, 2, cfg, params=params)
+    return micro, macro
+
+
+def _micro_loop(entry):
+    """Solver-loop time: total minus mean per-rank Init (HFI pays extra
+    setup by design — the Table 1 trade)."""
+    runtime, stats = entry
+    return runtime - stats.time_in("Init") / (2 * SPEC.ranks_per_node)
+
+
+def test_backends_agree_on_config_ordering(backends):
+    """Expected-path halos: McKernel slowest on both backends (on loop
+    time, the paper's figure-of-merit basis)."""
+    micro, macro = backends
+    micro_rt = {c: _micro_loop(micro[c]) for c in ALL_CONFIGS}
+    macro_rt = {c: macro[c].loop_runtime for c in ALL_CONFIGS}
+    for rt in (micro_rt, macro_rt):
+        assert rt[OSConfig.MCKERNEL] > rt[OSConfig.LINUX]
+        assert rt[OSConfig.MCKERNEL] > rt[OSConfig.MCKERNEL_HFI]
+
+
+def test_backends_agree_wait_dominates_mckernel_mpi(backends):
+    micro, macro = backends
+    micro_stats = micro[OSConfig.MCKERNEL][1]
+    macro_res = macro[OSConfig.MCKERNEL]
+    # Wait(+Waitall) is the largest non-Init MPI bucket on both backends
+    m_wait = (micro_stats.time_in("Wait")
+              + micro_stats.time_in("Waitall"))
+    others = [micro_stats.time_in(c) for c in ("Isend", "Allreduce")]
+    assert m_wait > max(others)
+    macro_top = [r.call for r in macro_res.top_calls(2)]
+    assert "Wait" in macro_top
+
+
+def test_backends_agree_on_mckernel_penalty_scale(backends):
+    """The McKernel/Linux runtime ratio agrees within a factor of two
+    between the two backends."""
+    micro, macro = backends
+    micro_ratio = (micro[OSConfig.MCKERNEL][0]
+                   / micro[OSConfig.LINUX][0])
+    macro_ratio = (macro[OSConfig.MCKERNEL].runtime
+                   / macro[OSConfig.LINUX].runtime)
+    assert micro_ratio > 1.02 and macro_ratio > 1.02
+    assert 0.5 < micro_ratio / macro_ratio < 2.0
+
+
+def test_micro_mckernel_syscall_profile_is_driver_heavy(backends):
+    """The micro backend's kernel profiler shows the Figure 8 shape for
+    an expected-receive-heavy spec on McKernel."""
+    machine = build_machine(2, OSConfig.MCKERNEL)
+    run_micro(machine, SPEC)
+    from repro.profiling import profile_from_tracer
+    profile = profile_from_tracer(machine.tracer)
+    driver = profile.share("ioctl") + profile.share("writev")
+    assert driver > 0.4

@@ -1,0 +1,156 @@
+"""Unit tests of the macro cost model's structure and monotonicity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.model import (CommCostModel, collective_rounds,
+                                 off_node_fraction)
+from repro.config import OSConfig
+from repro.params import default_params
+from repro.units import KiB, MiB, PAGE_SIZE
+
+
+@pytest.fixture(params=list(OSConfig), ids=lambda c: c.value)
+def model(request):
+    return CommCostModel(default_params(), request.param)
+
+
+def linux_model():
+    return CommCostModel(default_params(), OSConfig.LINUX)
+
+
+def pico_model():
+    return CommCostModel(default_params(), OSConfig.MCKERNEL_HFI)
+
+
+def mck_model():
+    return CommCostModel(default_params(), OSConfig.MCKERNEL)
+
+
+def test_desc_size_by_config():
+    p = default_params()
+    assert linux_model().desc_size() == PAGE_SIZE
+    assert mck_model().desc_size() == PAGE_SIZE
+    assert pico_model().desc_size() == p.nic.sdma_max_request
+
+
+def test_wire_time_descriptor_penalty():
+    """The Figure 4 mechanism in closed form."""
+    l, h = linux_model(), pico_model()
+    assert l.wire_time(4 * MiB) > h.wire_time(4 * MiB)
+    ratio = l.wire_time(4 * MiB) / h.wire_time(4 * MiB)
+    assert 1.05 < ratio < 1.25
+
+
+def test_writev_handler_pico_cheaper():
+    assert (pico_model().writev_handler(256 * KiB)
+            < linux_model().writev_handler(256 * KiB))
+
+
+def test_tid_update_pico_cheaper():
+    """Large pages collapse per-page pinning+programming."""
+    l, h = linux_model(), pico_model()
+    assert h.tid_update_handler(256 * KiB) < 0.3 * l.tid_update_handler(256 * KiB)
+
+
+def test_driver_call_placement():
+    p = default_params()
+    handler = 5e-6
+    # Linux: native
+    vis, dem = linux_model().driver_call(handler, True, 0.0)
+    assert dem == 0.0 and vis == pytest.approx(p.syscall.linux_entry + handler)
+    # pico fast path: local
+    vis, dem = pico_model().driver_call(handler, True, 8.0)
+    assert dem == 0.0 and vis == pytest.approx(p.syscall.lwk_entry + handler)
+    # mckernel: offloaded with demand
+    vis, dem = mck_model().driver_call(handler, True, 1.0)
+    assert dem > handler
+    assert vis > p.ikc.round_trip
+
+
+def test_offload_contention_inflates_visibly():
+    m = mck_model()
+    quiet, _ = m.driver_call(5e-6, True, 1.0)
+    stormy, stormy_dem = m.driver_call(5e-6, True, 8.0)
+    assert stormy > 5 * quiet
+    # the switch penalty also inflates the service (CPU demand)
+    _, quiet_dem = m.driver_call(5e-6, True, 1.0)
+    assert stormy_dem > quiet_dem
+
+
+def test_message_transport_selection(model):
+    p = default_params()
+    pio = model.message(8 * KiB)
+    assert pio.node_cpu_demand == 0.0 and not pio.syscalls
+    eager = model.message(128 * KiB)
+    assert [s[0] for s in eager.syscalls] == ["writev"]
+    expected = model.message(1 * MiB)
+    names = [s[0] for s in expected.syscalls]
+    assert names == ["writev", "ioctl", "ioctl"]
+    windows = -(-1 * MiB // p.psm.window_size)
+    assert expected.syscalls[0][1] == windows
+
+
+def test_message_latency_ordering_large():
+    """pico < linux < mckernel for expected-receive messages."""
+    lat = {cfg: CommCostModel(default_params(), cfg).message(
+        1 * MiB, depth_per_cpu=4.0).latency for cfg in OSConfig}
+    assert lat[OSConfig.MCKERNEL_HFI] < lat[OSConfig.LINUX]
+    assert lat[OSConfig.LINUX] < lat[OSConfig.MCKERNEL]
+
+
+def test_pio_messages_identical_across_configs():
+    msgs = [CommCostModel(default_params(), cfg).message(16 * KiB)
+            for cfg in OSConfig]
+    assert len({m.latency for m in msgs}) == 1
+
+
+def test_mmap_times_shadow_unmap():
+    """McKernel munmap pays the proxy shadow sync; Linux does not."""
+    l = linux_model().mmap_times(1 * MiB)
+    m = mck_model().mmap_times(1 * MiB)
+    assert m["munmap"][0] > l["munmap"][0]
+    assert m["munmap"][1] > 0.0          # offload demand
+    assert l["munmap"][1] == 0.0
+    assert m["mmap"][1] == 0.0           # lwk-local mmap
+
+
+def test_tlb_factor():
+    assert linux_model().tlb_factor() == 1.0
+    assert mck_model().tlb_factor() < 1.0
+
+
+def test_off_node_fraction_shape():
+    assert off_node_fraction(1) == 0.0
+    assert 0 < off_node_fraction(2) < off_node_fraction(256) <= 0.9
+
+
+def test_collective_rounds():
+    assert collective_rounds("barrier", 1) == 0
+    assert collective_rounds("allreduce", 8) == 3
+    assert collective_rounds("bcast", 9) == 4
+    assert collective_rounds("alltoallv", 8) == 7
+    with pytest.raises(ValueError):
+        collective_rounds("gather", 8)
+
+
+@given(nbytes=st.integers(1, 8 * MiB), depth=st.floats(0.0, 32.0))
+@settings(max_examples=80)
+def test_message_costs_nonnegative_and_consistent(nbytes, depth):
+    for cfg in OSConfig:
+        m = CommCostModel(default_params(), cfg).message(nbytes, depth)
+        assert m.latency > 0
+        assert m.sender_time >= 0 and m.receiver_time >= 0
+        assert m.wire >= 0 and m.node_cpu_demand >= 0
+        assert m.latency >= m.wire * 0  # sanity: finite
+        for _name, count, visible in m.syscalls:
+            assert count >= 1 and visible > 0
+
+
+@given(size_a=st.integers(1, 4 * MiB), size_b=st.integers(1, 4 * MiB))
+@settings(max_examples=60)
+def test_wire_time_monotone_in_size(size_a, size_b):
+    m = linux_model()
+    lo, hi = sorted((size_a, size_b))
+    assert m.wire_time(lo) <= m.wire_time(hi)

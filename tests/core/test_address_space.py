@@ -1,0 +1,123 @@
+"""Tests for Figure 3: kernel VA layouts and their unification."""
+
+import pytest
+
+from repro.core import (KernelAddressSpace, Region, linux_layout,
+                        mckernel_original_layout, mckernel_unified_layout,
+                        unify_address_spaces)
+from repro.core.address_space import (LINUX_DIRECT_MAP_BASE,
+                                      LINUX_TEXT_BASE,
+                                      MCK_UNIFIED_TEXT_BASE,
+                                      MODULE_SPACE_END, validate_unification)
+from repro.errors import LayoutError, PageFault
+
+
+def test_region_basics():
+    r = Region("x", 0x1000, 0x100)
+    assert r.contains(0x1000) and r.contains(0x10FF)
+    assert not r.contains(0x1100)
+    assert r.overlaps(Region("y", 0x10FF, 1))
+    assert not r.overlaps(Region("y", 0x1100, 1))
+
+
+def test_duplicate_and_overlapping_regions_rejected():
+    aspace = KernelAddressSpace("k", [Region("a", 0, 100)])
+    with pytest.raises(LayoutError):
+        aspace.add_region(Region("a", 200, 10))
+    with pytest.raises(LayoutError):
+        aspace.add_region(Region("b", 50, 100))
+
+
+def test_original_mckernel_image_collides_with_linux():
+    """The pre-PicoDriver problem: both kernel images at the same VA."""
+    linux = linux_layout()
+    mck = mckernel_original_layout()
+    assert mck.regions["kernel_image"].start == LINUX_TEXT_BASE
+    assert linux.regions["kernel_image"].overlaps(mck.regions["kernel_image"])
+
+
+def test_original_mckernel_cannot_dereference_linux_kmalloc():
+    mck = mckernel_original_layout()
+    linux_heap_addr = LINUX_DIRECT_MAP_BASE + 0x1234
+    with pytest.raises(PageFault):
+        mck.check_access(linux_heap_addr, "hfi1 devdata pointer")
+
+
+def test_unified_mckernel_dereferences_linux_kmalloc():
+    mck = mckernel_unified_layout()
+    assert mck.can_access(LINUX_DIRECT_MAP_BASE + 0x1234)
+
+
+def test_unified_image_sits_at_top_of_module_space():
+    mck = mckernel_unified_layout()
+    img = mck.regions["kernel_image"]
+    assert img.end - 1 == MODULE_SPACE_END
+    assert img.start == MCK_UNIFIED_TEXT_BASE
+
+
+def test_unify_transforms_original_into_unified():
+    linux = linux_layout()
+    mck = mckernel_original_layout()
+    unify_address_spaces(linux, mck)
+    ref = mckernel_unified_layout()
+    assert (mck.regions["kernel_image"].start
+            == ref.regions["kernel_image"].start)
+    assert (mck.regions["direct_map"].start
+            == linux.regions["direct_map"].start)
+    # requirement 3: Linux sees McKernel TEXT
+    assert linux.can_access(MCK_UNIFIED_TEXT_BASE + 0x10)
+    assert "mckernel_image" in linux.regions
+
+
+def test_unify_is_validated():
+    linux = linux_layout()
+    mck = mckernel_original_layout()
+    unify_address_spaces(linux, mck)
+    validate_unification(linux, mck)  # must not raise
+
+
+def test_validate_rejects_original_layout():
+    with pytest.raises(LayoutError):
+        validate_unification(linux_layout(), mckernel_original_layout())
+
+
+def test_validate_rejects_mismatched_direct_maps():
+    linux = linux_layout()
+    mck = mckernel_original_layout()
+    unify_address_spaces(linux, mck)
+    mck.replace_region("direct_map",
+                       Region("direct_map", 0xFFFF_8000_0000_0000, 1 << 30))
+    with pytest.raises(LayoutError, match="direct maps disagree"):
+        validate_unification(linux, mck)
+
+
+def test_validate_requires_linux_visibility_of_lwk_text():
+    linux = linux_layout()
+    mck = mckernel_original_layout()
+    unify_address_spaces(linux, mck)
+    del linux.regions["mckernel_image"]
+    with pytest.raises(LayoutError, match="callbacks would fault"):
+        validate_unification(linux, mck)
+
+
+def test_user_space_identical_in_all_layouts():
+    for aspace in (linux_layout(), mckernel_original_layout(),
+                   mckernel_unified_layout()):
+        user = aspace.regions["user"]
+        assert user.start == 0
+        assert user.end == 0x0000_8000_0000_0000
+
+
+def test_shared_regions_after_unification():
+    linux = linux_layout()
+    mck = mckernel_original_layout()
+    unify_address_spaces(linux, mck)
+    shared = {a.name for a, b in mck.shared_regions(linux)}
+    assert "direct_map" in shared
+    assert "user" in shared
+
+
+def test_replace_missing_region_rejected():
+    aspace = KernelAddressSpace("k", [Region("a", 0, 10)])
+    with pytest.raises(LayoutError):
+        aspace.replace_region("zz", Region("zz", 100, 10))

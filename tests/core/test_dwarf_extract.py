@@ -1,0 +1,159 @@
+"""Tests for the mini-DWARF emitter and the dwarf-extract-struct tool —
+including the paper's Listing 1 layout and the version-drift scenario that
+motivates the whole workflow (section 3.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (ARRAY, ENUM, PTR, U8, U16, U32, U64, CStructDef,
+                        Field, StructInstance, StructView,
+                        dwarf_extract_struct, emit_dwarf, generate_header)
+from repro.core import dwarf as D
+from repro.errors import DwarfError, ReproError
+from repro.hw import SharedHeap
+from repro.linux.hfi1.debuginfo import build_module, struct_defs
+
+
+def test_listing1_sdma_state_offsets():
+    """The paper's Listing 1: current_state@40, go_s99_running@48,
+    previous_state@52, whole struct 64 bytes (driver v1.0.0)."""
+    binary = build_module("1.0.0")
+    layout = dwarf_extract_struct(
+        binary, "sdma_state",
+        ["current_state", "go_s99_running", "previous_state"])
+    assert layout.byte_size == 64
+    assert layout.field("current_state").offset == 40
+    assert layout.field("go_s99_running").offset == 48
+    assert layout.field("previous_state").offset == 52
+
+
+def test_listing1_generated_header_text():
+    binary = build_module("1.0.0")
+    layout = dwarf_extract_struct(
+        binary, "sdma_state",
+        ["current_state", "go_s99_running", "previous_state"])
+    header = generate_header(layout)
+    assert "char whole_struct[64];" in header
+    assert "char padding0[40];" in header
+    assert "enum sdma_states current_state;" in header
+    assert "char padding1[48];" in header
+    assert "unsigned int go_s99_running;" in header
+    assert "char padding2[52];" in header
+    assert "enum sdma_states previous_state;" in header
+
+
+def test_version_drift_shifts_offsets():
+    """A driver update changes embedded blob sizes; extraction tracks it."""
+    old = dwarf_extract_struct(build_module("1.0.0"), "sdma_state",
+                               ["current_state"])
+    new = dwarf_extract_struct(build_module("1.1.1"), "sdma_state",
+                               ["current_state"])
+    assert old.field("current_state").offset == 40
+    assert new.field("current_state").offset == 48
+    assert new.byte_size > old.byte_size
+
+
+def test_stale_manual_header_reads_garbage_dwarf_does_not():
+    """End-to-end: the Linux driver (v1.1.1) writes a field; a hand-copied
+    v1.0.0 layout misreads it, the freshly extracted layout reads it
+    correctly — the exact failure mode of section 3.2."""
+    heap = SharedHeap(4096, base=0)
+    defs = struct_defs("1.1.1")
+    inst = StructInstance(defs["sdma_state"], heap)
+    inst.set("go_s99_running", 1)
+
+    fresh = dwarf_extract_struct(build_module("1.1.1"), "sdma_state",
+                                 ["go_s99_running"])
+    stale = dwarf_extract_struct(build_module("1.0.0"), "sdma_state",
+                                 ["go_s99_running"])
+    assert StructView(fresh, heap, inst.addr).get("go_s99_running") == 1
+    assert StructView(stale, heap, inst.addr).get("go_s99_running") != 1
+
+
+def test_extraction_offsets_match_defs_for_all_structs():
+    """Every extractable field of every driver struct, both versions."""
+    for version in ("1.0.0", "1.1.1"):
+        binary = build_module(version)
+        for name, sdef in struct_defs(version).items():
+            fields = [f.name for f in sdef.fields]
+            layout = dwarf_extract_struct(binary, name, fields)
+            assert layout.byte_size == sdef.size
+            for f in sdef.fields:
+                assert layout.field(f.name).offset == sdef.offset_of(f.name), \
+                    f"{version} {name}.{f.name}"
+
+
+def test_missing_struct_and_field_errors():
+    binary = build_module("1.0.0")
+    with pytest.raises(DwarfError):
+        dwarf_extract_struct(binary, "no_such_struct", ["x"])
+    with pytest.raises(DwarfError):
+        dwarf_extract_struct(binary, "sdma_state", ["no_such_field"])
+
+
+def test_array_and_pointer_types_resolve():
+    s = CStructDef("t", [Field("p", PTR), Field("arr", ARRAY(U16, 8))])
+    binary = emit_dwarf([s], module="m", version="9")
+    layout = dwarf_extract_struct(binary, "t", ["p", "arr"])
+    p = layout.field("p")
+    assert (p.elem_size, p.count, p.type_name) == (8, 1, "void *")
+    arr = layout.field("arr")
+    assert (arr.elem_size, arr.count) == (2, 8)
+    assert layout.source_version == "9"
+
+
+def test_structview_array_bounds():
+    heap = SharedHeap(4096, base=0)
+    s = CStructDef("t", [Field("arr", ARRAY(U32, 2))])
+    binary = emit_dwarf([s])
+    layout = dwarf_extract_struct(binary, "t", ["arr"])
+    inst = StructInstance(s, heap)
+    view = StructView(layout, heap, inst.addr)
+    view.set("arr", 7, index=1)
+    assert view.get("arr", index=1) == 7
+    with pytest.raises(ReproError):
+        view.get("arr", index=2)
+
+
+def test_dwarf_walk_visits_all_tags():
+    binary = build_module("1.0.0")
+    tags = {die.tag for die in binary.dwarf.walk()}
+    assert D.DW_TAG_compile_unit in tags
+    assert D.DW_TAG_structure_type in tags
+    assert D.DW_TAG_member in tags
+    assert D.DW_TAG_base_type in tags
+
+
+def test_dangling_type_reference_raises():
+    binary = build_module("1.0.0")
+    with pytest.raises(DwarfError):
+        binary.dwarf.resolve(0xDEAD_BEEF)
+
+
+_CTYPES = [U8, U16, U32, U64, PTR, ENUM("e")]
+
+
+@given(seed=st.integers(0, 10_000), n_fields=st.integers(1, 12))
+@settings(max_examples=60)
+def test_extraction_matches_abi_for_random_structs(seed, n_fields):
+    """Property: for arbitrary struct shapes, DWARF extraction reproduces
+    the ABI-computed offsets exactly."""
+    import numpy as np
+    rng = np.random.default_rng(seed)
+    fields = []
+    for i in range(n_fields):
+        ct = _CTYPES[rng.integers(0, len(_CTYPES))]
+        if rng.random() < 0.3:
+            fields.append(Field(f"f{i}", ARRAY(ct, int(rng.integers(1, 9)))))
+        else:
+            fields.append(Field(f"f{i}", ct))
+    sdef = CStructDef("rand", fields)
+    binary = emit_dwarf([sdef])
+    layout = dwarf_extract_struct(binary, "rand", [f.name for f in fields])
+    assert layout.byte_size == sdef.size
+    for f in fields:
+        got = layout.field(f.name)
+        assert got.offset == sdef.offset_of(f.name)
+        assert got.elem_size == f.elem.size
+        assert got.count == f.count

@@ -1,0 +1,111 @@
+"""Unit tests for C structure layout modeling (ABI offsets, instances)."""
+
+import pytest
+
+from repro.core import ARRAY, ENUM, PTR, U8, U16, U32, U64, CStructDef, Field, StructInstance
+from repro.errors import ReproError
+from repro.hw import SharedHeap
+
+
+def test_natural_alignment_offsets():
+    s = CStructDef("s", [
+        Field("a", U8),       # 0
+        Field("b", U32),      # 4 (padded)
+        Field("c", U16),      # 8
+        Field("d", U64),      # 16 (padded)
+    ])
+    assert s.offset_of("a") == 0
+    assert s.offset_of("b") == 4
+    assert s.offset_of("c") == 8
+    assert s.offset_of("d") == 16
+    assert s.size == 24
+    assert s.align == 8
+
+
+def test_trailing_padding_to_max_alignment():
+    s = CStructDef("s", [Field("p", PTR), Field("x", U8)])
+    assert s.size == 16
+
+
+def test_array_fields():
+    s = CStructDef("s", [Field("blob", ARRAY(U8, 40)), Field("v", U32)])
+    assert s.offset_of("v") == 40
+    assert s.size == 44
+
+
+def test_enum_is_four_bytes():
+    e = ENUM("sdma_states")
+    assert e.size == 4 and e.name == "enum sdma_states"
+
+
+def test_embedded_struct_as_ctype():
+    inner = CStructDef("inner", [Field("x", U64)])
+    outer = CStructDef("outer", [Field("in_", inner.as_ctype()),
+                                 Field("y", U32)])
+    assert outer.offset_of("y") == inner.size
+
+
+def test_duplicate_fields_rejected():
+    with pytest.raises(ReproError):
+        CStructDef("s", [Field("a", U32), Field("a", U32)])
+
+
+def test_empty_struct_rejected():
+    with pytest.raises(ReproError):
+        CStructDef("s", [])
+
+
+def test_unknown_field_rejected():
+    s = CStructDef("s", [Field("a", U32)])
+    with pytest.raises(ReproError):
+        s.offset_of("b")
+    with pytest.raises(ReproError):
+        s.field("b")
+
+
+def test_instance_roundtrip():
+    heap = SharedHeap(4096, base=0)
+    s = CStructDef("s", [Field("a", U32), Field("b", U64)])
+    inst = StructInstance(s, heap)
+    inst.set("a", 0xDEAD)
+    inst.set("b", 0x1122334455667788)
+    assert inst.get("a") == 0xDEAD
+    assert inst.get("b") == 0x1122334455667788
+
+
+def test_instance_array_indexing():
+    heap = SharedHeap(4096, base=0)
+    s = CStructDef("s", [Field("arr", ARRAY(U32, 4))])
+    inst = StructInstance(s, heap)
+    for i in range(4):
+        inst.set("arr", i * 11, index=i)
+    assert [inst.get("arr", index=i) for i in range(4)] == [0, 11, 22, 33]
+    with pytest.raises(ReproError):
+        inst.get("arr", index=4)
+
+
+def test_instance_signed_field():
+    from repro.core.structs import S32
+    heap = SharedHeap(4096, base=0)
+    s = CStructDef("s", [Field("v", S32)])
+    inst = StructInstance(s, heap)
+    inst.set("v", -5)
+    assert inst.get("v") == -5
+
+
+def test_instances_write_real_bytes():
+    """Field writes land at the computed offset in heap memory."""
+    heap = SharedHeap(4096, base=0x1000)
+    s = CStructDef("s", [Field("pad", ARRAY(U8, 40)), Field("v", U32)])
+    inst = StructInstance(s, heap)
+    inst.set("v", 0x0A0B0C0D)
+    raw = heap.read(inst.addr + 40, 4)
+    assert raw == bytes([0x0D, 0x0C, 0x0B, 0x0A])  # little endian
+
+
+def test_instance_free_returns_memory():
+    heap = SharedHeap(4096, base=0)
+    s = CStructDef("s", [Field("a", U64)])
+    inst = StructInstance(s, heap)
+    inst.free()
+    assert heap.live_objects() == 0

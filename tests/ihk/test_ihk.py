@@ -1,0 +1,153 @@
+"""Tests for IHK: partitioning, LWK boot/shutdown, IKC delegation."""
+
+import pytest
+
+from repro.config import OSConfig
+from repro.errors import ReproError
+from repro.experiments import build_machine
+from repro.hw import Node
+from repro.ihk.manager import IhkManager
+from repro.ihk.partition import release_partition, reserve_partition
+from repro.linux.kernel import LinuxKernel
+from repro.params import default_params
+from repro.sim import RngFactory, Simulator
+from repro.units import LARGE_PAGE_SIZE, PAGE_SIZE
+
+
+def make_node():
+    sim = Simulator()
+    params = default_params()
+    node = Node(sim, params, 0)
+    linux = LinuxKernel(sim, params, node, RngFactory(1))
+    return sim, params, node, linux
+
+
+def test_partition_offlines_cores():
+    sim, params, node, linux = make_node()
+    part = reserve_partition(node, 64, 1024)
+    assert len(node.cpus.owned_by("linux")) == params.node.total_cores - 64
+    assert all(c.offlined for c in part.cores)
+    # cores taken from the tail: the first cores stay with Linux
+    assert node.cpus[0].owner == "linux"
+    assert node.cpus[params.node.total_cores - 1].owner == "mckernel"
+
+
+def test_partition_memory_is_contiguous_and_aligned():
+    sim, params, node, linux = make_node()
+    part = reserve_partition(node, 4, 4096)
+    assert part.mem_extent.count == 4096
+    assert part.mem_extent.start % (LARGE_PAGE_SIZE // PAGE_SIZE) == 0
+    assert part.lwk_allocator.base_frame == part.mem_extent.start
+
+
+def test_release_returns_resources():
+    sim, params, node, linux = make_node()
+    linux_cores = len(node.cpus.owned_by("linux"))
+    free = node.mcdram.free_frames
+    part = reserve_partition(node, 8, 2048)
+    release_partition(part)
+    assert len(node.cpus.owned_by("linux")) == linux_cores
+    assert node.mcdram.free_frames == free
+    with pytest.raises(ReproError):
+        release_partition(part)
+
+
+def test_release_with_live_lwk_allocations_rejected():
+    sim, params, node, linux = make_node()
+    part = reserve_partition(node, 4, 1024)
+    part.lwk_allocator.alloc_contiguous(10)
+    with pytest.raises(ReproError, match="still"):
+        release_partition(part)
+
+
+def test_bad_partition_requests_rejected():
+    sim, params, node, linux = make_node()
+    with pytest.raises(ReproError):
+        reserve_partition(node, 0, 100)
+    with pytest.raises(ReproError):
+        reserve_partition(node, 1, 0)
+    with pytest.raises(ValueError):
+        reserve_partition(node, 10_000, 100)
+
+
+def test_manager_boots_and_destroys_lwk():
+    sim, params, node, linux = make_node()
+    ihk = IhkManager(sim, params, node, linux)
+    mck = ihk.boot_mckernel(n_cores=16, mem_frames=4096)
+    assert node.mckernel is mck
+    assert len(mck.partition.cores) == 16
+    with pytest.raises(ReproError):
+        ihk.boot_mckernel()        # already booted
+    ihk.destroy_mckernel()
+    assert node.mckernel is None
+    with pytest.raises(ReproError):
+        ihk.destroy_mckernel()
+
+
+def test_unified_boot_validates_layout():
+    sim, params, node, linux = make_node()
+    ihk = IhkManager(sim, params, node, linux)
+    mck = ihk.boot_mckernel(n_cores=4, mem_frames=1024,
+                            unified_address_space=True)
+    from repro.core.address_space import validate_unification
+    validate_unification(linux.aspace, mck.aspace)
+
+
+def test_non_unified_boot_keeps_original_layout():
+    sim, params, node, linux = make_node()
+    ihk = IhkManager(sim, params, node, linux)
+    mck = ihk.boot_mckernel(n_cores=4, mem_frames=1024,
+                            unified_address_space=False)
+    from repro.core.address_space import LINUX_DIRECT_MAP_BASE
+    assert mck.aspace.regions["direct_map"].start != LINUX_DIRECT_MAP_BASE
+
+
+def test_ikc_offload_round_trip_cost():
+    """An uncontended offloaded syscall costs at least the IKC round trip
+    more than the native call."""
+    machine = build_machine(1, OSConfig.MCKERNEL)
+    task = machine.spawn_rank(0, 0)
+
+    def body():
+        t0 = machine.sim.now
+        fd = yield from task.syscall("open", "/dev/hfi1_0")
+        return machine.sim.now - t0
+
+    proc = machine.sim.process(body())
+    machine.sim.run(until=proc)
+    params = machine.params
+    native_floor = params.syscall.open_cost + params.syscall.linux_entry
+    assert proc.value >= native_floor + params.ikc.round_trip
+
+
+def test_ikc_contention_queues_on_os_cpus():
+    """More simultaneous offloads than OS CPUs -> FIFO queueing delay."""
+    machine = build_machine(1, OSConfig.MCKERNEL)
+    n_ranks = 16
+    finish = []
+
+    def body(task):
+        yield from task.syscall("open", "/dev/hfi1_0")
+        finish.append(machine.sim.now)
+
+    for i in range(n_ranks):
+        machine.sim.process(body(machine.spawn_rank(0, i)))
+    machine.sim.run()
+    assert len(finish) == n_ranks
+    spread = max(finish) - min(finish)
+    # 16 jobs over 4 CPUs: the last waits ~3 service times
+    service = machine.params.syscall.open_cost
+    assert spread > 2 * service
+
+
+def test_ikc_propagates_errors():
+    machine = build_machine(1, OSConfig.MCKERNEL)
+    task = machine.spawn_rank(0, 0)
+
+    def body():
+        yield from task.syscall("ioctl", 99, 0, None)  # bad fd via offload
+
+    proc = machine.sim.process(body())
+    machine.sim.run()
+    from repro.errors import BadSyscall
+    assert isinstance(proc.exception, BadSyscall)

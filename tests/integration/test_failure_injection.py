@@ -1,0 +1,143 @@
+"""Failure injection across the stack: the model must fail loudly and in
+the right place, mirroring real-system failure modes."""
+
+import pytest
+
+from repro.config import OSConfig
+from repro.errors import DriverError, PageFault
+from repro.experiments import build_machine
+from repro.linux.hfi1 import ioctls as ioc
+from repro.linux.hfi1.debuginfo import SDMA_STATE_S80_HW_FREEZE
+from repro.sim import Event
+from repro.units import KiB, MiB
+
+
+def spawn_and_run(machine, body_fn, rank=0):
+    task = machine.spawn_rank(0, rank)
+    proc = machine.sim.process(body_fn(task))
+    machine.sim.run()
+    return proc
+
+
+def test_pico_refuses_frozen_sdma_engine():
+    """The fast path checks engine state through the DWARF view before
+    submitting; a frozen engine (set by 'Linux') is detected."""
+    machine = build_machine(2, OSConfig.MCKERNEL_HFI)
+    driver = machine.nodes[0].driver
+    for state in driver.engine_states:
+        state.set("current_state", SDMA_STATE_S80_HW_FREEZE)
+        state.set("go_s99_running", 0)
+
+    def body(task):
+        fd = yield from task.syscall("open", "/dev/hfi1_0")
+        buf = yield from task.syscall("mmap", 1 * MiB)
+        done = Event(machine.sim)
+        meta = {"dst_node": 1, "dst_ctxt": 0, "kind": "eager",
+                "completion": done}
+        yield from task.syscall("writev", fd, [meta, (buf, 1 * MiB)])
+
+    proc = spawn_and_run(machine, body)
+    assert isinstance(proc.exception, DriverError)
+    assert "not running" in str(proc.exception)
+
+
+def test_pico_writev_requires_pinned_memory():
+    machine = build_machine(2, OSConfig.MCKERNEL_HFI)
+    mck = machine.nodes[0].mckernel
+
+    def body(task):
+        fd = yield from task.syscall("open", "/dev/hfi1_0")
+        buf = yield from task.syscall("mmap", 64 * KiB)
+        # sabotage: replace the mapping with an unpinned one
+        released = task.pagetable.unmap_range(buf, 64 * KiB)
+        task.pagetable.map_extents(buf, released, pinned=False)
+        meta = {"dst_node": 1, "dst_ctxt": 0, "kind": "expected",
+                "completion": Event(machine.sim)}
+        yield from task.syscall("writev", fd, [meta, (buf, 64 * KiB)])
+
+    proc = spawn_and_run(machine, body)
+    assert isinstance(proc.exception, DriverError)
+    assert "unpinned" in str(proc.exception)
+
+
+def test_offloaded_errors_cross_ikc_cleanly():
+    """A driver error raised in Linux propagates through the IKC response
+    into the McKernel caller without wedging the channel."""
+    machine = build_machine(1, OSConfig.MCKERNEL)
+
+    def bad(task):
+        fd = yield from task.syscall("open", "/dev/hfi1_0")
+        yield from task.syscall("ioctl", fd, ioc.HFI1_IOCTL_TID_FREE,
+                                {"tids": [424242]})
+
+    proc = spawn_and_run(machine, bad)
+    assert isinstance(proc.exception, DriverError)
+
+    # channel still serves subsequent calls
+    def good(task):
+        fd = yield from task.syscall("open", "/dev/hfi1_0")
+        return fd
+
+    machine2_proc = machine.sim.process(good(machine.spawn_rank(0, 1)))
+    machine.sim.run()
+    assert machine2_proc.ok
+
+
+def test_rcv_array_exhaustion_surfaces_to_caller():
+    machine = build_machine(1, OSConfig.LINUX)
+    hfi = machine.nodes[0].node.hfi
+    # shrink the RcvArray by pre-programming almost all entries
+    ctxt = hfi.alloc_context("hog")
+    hfi.program_tids(ctxt, [(i * 4096, 4096) for i in
+                            range(machine.params.nic.rcv_array_entries - 2)])
+
+    def body(task):
+        fd = yield from task.syscall("open", "/dev/hfi1_0")
+        buf = yield from task.syscall("mmap", 64 * KiB)
+        yield from task.syscall("ioctl", fd, ioc.HFI1_IOCTL_TID_UPDATE,
+                                {"vaddr": buf, "length": 64 * KiB})
+
+    proc = spawn_and_run(machine, body)
+    assert isinstance(proc.exception, DriverError)
+    assert "RcvArray exhausted" in str(proc.exception)
+
+
+def test_progress_worker_error_handler():
+    from repro.psm.progress import ProgressWorker
+    from repro.sim import Simulator
+    sim = Simulator()
+    worker = ProgressWorker(sim, "w")
+    errors = []
+    worker.on_error(errors.append)
+
+    def failing_job():
+        yield sim.timeout(1.0)
+        raise DriverError("injected")
+
+    def ok_job():
+        yield sim.timeout(1.0)
+
+    worker.submit(failing_job())
+    worker.submit(ok_job())
+    sim.run()
+    assert len(errors) == 1 and "injected" in str(errors[0])
+    assert worker.failed == 1 and worker.completed == 1
+
+
+def test_non_unified_dereference_page_faults():
+    """Without the PicoDriver's unified layout, touching a Linux driver
+    pointer from McKernel faults — the section 3.1 motivation."""
+    machine = build_machine(1, OSConfig.MCKERNEL)   # original layout
+    mck = machine.nodes[0].mckernel
+    driver = machine.nodes[0].driver
+    with pytest.raises(PageFault):
+        mck.aspace.check_access(driver.devdata.addr, "hfi1_devdata")
+
+
+def test_kheap_exhaustion_is_loud():
+    from repro.errors import OutOfMemory
+    machine = build_machine(1, OSConfig.LINUX)
+    heap = machine.nodes[0].node.kheap
+    with pytest.raises(OutOfMemory):
+        while True:
+            heap.kmalloc(1 << 16)

@@ -1,0 +1,87 @@
+"""Device model / sysfs tests, including cross-kernel (offloaded) reads —
+the administrative surface McKernel reaches only through Linux."""
+
+import pytest
+
+from repro.config import OSConfig
+from repro.errors import BadSyscall, ReproError
+from repro.experiments import build_machine
+from repro.linux.device_model import Device, DeviceModel
+
+
+def test_device_attrs_and_paths():
+    dev = Device("hfi1_0", "infiniband")
+    dev.add_attr("hw_rev", 16)
+    dev.add_attr("dynamic", lambda: "live-value")
+    assert dev.sysfs_path == "/sys/class/infiniband/hfi1_0"
+    assert dev.read_attr("hw_rev") == "16\n"
+    assert dev.read_attr("dynamic") == "live-value\n"
+    assert dev.attr_names() == ["dynamic", "hw_rev"]
+
+
+def test_duplicate_attr_rejected():
+    dev = Device("d", "c")
+    dev.add_attr("x", 1)
+    with pytest.raises(ReproError):
+        dev.add_attr("x", 2)
+
+
+def test_missing_attr_is_einval():
+    dev = Device("d", "c")
+    with pytest.raises(BadSyscall):
+        dev.read_attr("nope")
+
+
+def test_model_registry_and_lookup():
+    model = DeviceModel()
+    dev = model.register(Device("hfi1_0", "infiniband"))
+    dev.add_attr("serial", "0xabc")
+    assert model.classes() == ["infiniband"]
+    found = model.lookup_attr("/sys/class/infiniband/hfi1_0/serial")
+    assert found == (dev, "serial")
+    assert model.lookup_attr("/sys/class/infiniband/none/serial") is None
+    assert model.lookup_attr("/etc/hosts") is None
+    with pytest.raises(ReproError):
+        model.register(Device("hfi1_0", "infiniband"))
+    model.unregister(dev)
+    assert model.lookup_attr("/sys/class/infiniband/hfi1_0/serial") is None
+
+
+def read_sysfs(machine, path):
+    task = machine.spawn_rank(0, 0)
+
+    def body():
+        fd = yield from task.syscall("open", path)
+        content = yield from task.syscall("read", fd, 4096)
+        yield from task.syscall("close", fd)
+        return content
+
+    proc = machine.sim.process(body())
+    machine.sim.run(until=proc)
+    return proc.value
+
+
+def test_hfi1_driver_populates_sysfs():
+    machine = build_machine(1, OSConfig.LINUX)
+    content = read_sysfs(machine,
+                         "/sys/class/infiniband/hfi1_0/boardversion")
+    assert "ChipABI" in content
+    nctxts = read_sysfs(machine, "/sys/class/infiniband/hfi1_0/nctxts")
+    assert int(nctxts) == 160
+
+
+def test_sysfs_attrs_are_live():
+    """Callable attributes reflect current driver state."""
+    machine = build_machine(1, OSConfig.LINUX)
+    assert int(read_sysfs(
+        machine, "/sys/class/infiniband/hfi1_0/tids_in_use")) == 0
+
+
+def test_mckernel_reads_sysfs_through_offloading():
+    """McKernel has no /sys at all: the read transparently offloads to
+    Linux through the proxy (the paper's slow-path transparency)."""
+    machine = build_machine(1, OSConfig.MCKERNEL)
+    content = read_sysfs(machine,
+                         "/sys/class/infiniband/hfi1_0/serial")
+    assert content.startswith("0x11")
+    assert machine.nodes[0].mckernel.tracer.get_count("offload.calls") >= 3

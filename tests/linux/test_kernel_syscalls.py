@@ -1,0 +1,125 @@
+"""Linux kernel syscall-path tests on an assembled single node."""
+
+import pytest
+
+from repro.config import OSConfig
+from repro.errors import BadSyscall
+from repro.experiments import build_machine
+from repro.units import MiB, PAGE_SIZE
+
+
+@pytest.fixture()
+def machine():
+    return build_machine(1, OSConfig.LINUX)
+
+
+def run_syscalls(machine, body):
+    task = machine.spawn_rank(0, 0)
+    proc = machine.sim.process(body(task))
+    machine.sim.run(until=proc)
+    return proc.value
+
+
+def test_open_close_device(machine):
+    def body(task):
+        fd = yield from task.syscall("open", "/dev/hfi1_0")
+        assert fd >= 3
+        ret = yield from task.syscall("close", fd)
+        return ret
+
+    assert run_syscalls(machine, body) == 0
+
+
+def test_open_regular_file(machine):
+    def body(task):
+        fd = yield from task.syscall("open", "/etc/hosts")
+        nbytes = yield from task.syscall("read", fd, 100)
+        yield from task.syscall("close", fd)
+        return nbytes
+
+    assert run_syscalls(machine, body) == 100
+
+
+def test_mmap_munmap_roundtrip(machine):
+    def body(task):
+        va = yield from task.syscall("mmap", 1 * MiB)
+        assert task.pagetable.translate(va) is not None
+        yield from task.syscall("munmap", va, 1 * MiB)
+        return va
+
+    run_syscalls(machine, body)
+
+
+def test_syscalls_consume_time(machine):
+    def body(task):
+        t0 = machine.sim.now
+        yield from task.syscall("open", "/dev/hfi1_0")
+        return machine.sim.now - t0
+
+    elapsed = run_syscalls(machine, body)
+    params = machine.params
+    assert elapsed > params.syscall.open_cost
+
+
+def test_syscall_accounting(machine):
+    def body(task):
+        yield from task.syscall("mmap", 64 * PAGE_SIZE)
+        yield from task.syscall("nanosleep", 1e-6)
+
+    run_syscalls(machine, body)
+    tracer = machine.nodes[0].linux.tracer
+    assert tracer.get_count("syscall.mmap.calls") == 1
+    assert tracer.get_count("syscall.nanosleep.calls") == 1
+    assert tracer.get_total("syscall.mmap") > 0
+
+
+def test_unknown_syscall_rejected(machine):
+    def body(task):
+        yield from task.syscall("fork")
+
+    task = machine.spawn_rank(0, 1)
+    proc = machine.sim.process(body(task))
+    machine.sim.run()
+    assert isinstance(proc.exception, BadSyscall)
+
+
+def test_bad_fd_operations_rejected(machine):
+    def body(task):
+        yield from task.syscall("writev", 99, [{}, (0, 1)])
+
+    task = machine.spawn_rank(0, 2)
+    proc = machine.sim.process(body(task))
+    machine.sim.run()
+    assert isinstance(proc.exception, BadSyscall)
+
+
+def test_nanosleep_sleeps(machine):
+    def body(task):
+        t0 = machine.sim.now
+        yield from task.syscall("nanosleep", 5e-3)
+        return machine.sim.now - t0
+
+    assert run_syscalls(machine, body) >= 5e-3
+
+
+def test_linux_compute_is_noisy_mckernel_is_not():
+    linux_m = build_machine(1, OSConfig.LINUX)
+    mck_m = build_machine(1, OSConfig.MCKERNEL)
+
+    def body(machine):
+        task = machine.spawn_rank(0, 0)
+
+        def gen():
+            t0 = machine.sim.now
+            for _ in range(50):
+                yield from task.compute(1e-3)
+            return machine.sim.now - t0
+
+        proc = machine.sim.process(gen())
+        machine.sim.run(until=proc)
+        return proc.value
+
+    linux_elapsed = body(linux_m)
+    mck_elapsed = body(mck_m)
+    assert mck_elapsed == pytest.approx(50e-3)          # tickless: exact
+    assert linux_elapsed > 50e-3                        # noise stole cycles

@@ -1,0 +1,94 @@
+"""Tests for Linux memory management personality and the noise model."""
+
+import numpy as np
+import pytest
+
+from repro.linux.mm import LinuxMM
+from repro.linux.noise import NoNoise, NoiseModel
+from repro.hw import FrameAllocator
+from repro.kernels.base import Task
+from repro.params import default_params
+from repro.units import MiB, PAGE_SIZE
+
+
+class _FakeKernel:
+    name = "fake"
+
+
+def make_mm():
+    params = default_params()
+    mcdram = FrameAllocator(64 * 1024, name="mcdram")
+    ddr = FrameAllocator(128 * 1024, name="ddr")
+    mm = LinuxMM(params, mcdram, ddr, np.random.default_rng(7))
+    task = Task("t", _FakeKernel(), 0)
+    return params, mm, task, mcdram, ddr
+
+
+def test_anonymous_memory_is_fragmented():
+    """Linux anonymous mappings almost never give physical contiguity —
+    the reason the HFI1 driver caps SDMA requests at PAGE_SIZE."""
+    params, mm, task, *_ = make_mm()
+    va = mm.alloc_anonymous(task, 4 * MiB)
+    spans = task.pagetable.phys_spans(va, 4 * MiB)
+    mean_span = 4 * MiB / len(spans)
+    assert mean_span < 1.25 * PAGE_SIZE
+
+
+def test_anonymous_memory_not_pinned():
+    params, mm, task, *_ = make_mm()
+    va = mm.alloc_anonymous(task, 64 * 1024)
+    assert not task.pagetable.is_pinned(va, 64 * 1024)
+
+
+def test_free_anonymous_returns_frames():
+    params, mm, task, mcdram, ddr = make_mm()
+    before = mcdram.free_frames
+    va = mm.alloc_anonymous(task, 1 * MiB)
+    assert mcdram.free_frames == before - 256
+    mm.free_anonymous(task, va, 1 * MiB)
+    assert mcdram.free_frames == before
+
+
+def test_mcdram_first_then_ddr():
+    """MCDRAM is prioritized; DDR is the fallback (section 4.2)."""
+    params, mm, task, mcdram, ddr = make_mm()
+    huge = (mcdram.free_frames + 1) * PAGE_SIZE
+    va = mm.alloc_anonymous(task, huge)
+    assert ddr.allocated_frames > 0
+    mm.free_anonymous(task, va, huge)
+
+
+def test_get_user_pages_costs_per_page():
+    params, mm, task, *_ = make_mm()
+    va = mm.alloc_anonymous(task, 16 * PAGE_SIZE)
+    pages, cost = mm.get_user_pages(task, va, 16 * PAGE_SIZE)
+    assert len(pages) == 16
+    assert cost == pytest.approx(16 * params.syscall.gup_per_page)
+
+
+def test_noise_model_mean_matches_params():
+    params = default_params()
+    noise = NoiseModel(params.noise, np.random.default_rng(3))
+    dt = 1.0
+    samples = [noise.sample_extra(dt) for _ in range(400)]
+    mean = float(np.mean(samples))
+    assert mean == pytest.approx(params.noise.mean_fraction, rel=0.25)
+
+
+def test_noise_is_nonnegative_and_heavy_tailed():
+    params = default_params()
+    noise = NoiseModel(params.noise, np.random.default_rng(4))
+    samples = [noise.sample_extra(0.1) for _ in range(500)]
+    assert min(samples) >= 0.0
+    assert max(samples) > 5 * float(np.median(samples))
+
+
+def test_zero_interval_has_zero_noise():
+    params = default_params()
+    noise = NoiseModel(params.noise, np.random.default_rng(5))
+    assert noise.sample_extra(0.0) == 0.0
+
+
+def test_nonoise_is_identity():
+    assert NoNoise.inflate(1.5) == 1.5
+    assert NoNoise.sample_extra(1.5) == 0.0

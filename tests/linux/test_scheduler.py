@@ -1,0 +1,64 @@
+"""Tests for the oversubscribed-core scheduling micro-model."""
+
+import pytest
+
+from repro.linux.scheduler import (OversubscribedCore, SchedModelParams,
+                                   derived_switch_cost,
+                                   effective_service_time)
+
+
+def test_single_proxy_pays_no_steady_state_switches():
+    core = OversubscribedCore()
+    first = core.serve(0, 4e-6)
+    later = core.serve(0, 4e-6)
+    assert first > later
+    assert later == pytest.approx(4e-6)
+
+
+def test_alternating_proxies_pay_switch_plus_refill():
+    p = SchedModelParams()
+    core = OversubscribedCore(p)
+    core.serve(0, 4e-6)
+    core.serve(1, 4e-6)
+    cost = core.serve(0, 4e-6)   # 0 was evicted by exactly one other
+    assert cost == pytest.approx(
+        4e-6 + p.direct_switch + p.full_refill * 1 / p.eviction_span)
+
+
+def test_refill_saturates_at_full_eviction():
+    p = SchedModelParams()
+    core = OversubscribedCore(p)
+    n = p.eviction_span + 3
+    for proxy in range(n):
+        core.serve(proxy, 4e-6)
+    cost = core.serve(0, 4e-6)   # long gone: full refill
+    assert cost == pytest.approx(4e-6 + p.direct_switch + p.full_refill)
+
+
+def test_effective_service_monotone_then_saturating():
+    values = [effective_service_time(n) for n in (1, 2, 4, 8, 16)]
+    assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+    assert values[-1] == pytest.approx(values[-2], rel=0.05)
+
+
+def test_derived_cost_excludes_handler():
+    handler = 4e-6
+    total = effective_service_time(8, handler)
+    assert derived_switch_cost(8, handler) == pytest.approx(total - handler)
+
+
+def test_derived_cost_in_calibrated_regime():
+    """The macro model's 75us constant sits inside the derived band for
+    the paper's 8-proxies-per-core operating point."""
+    from repro.params import default_params
+    derived = derived_switch_cost(8)
+    calibrated = default_params().ikc.context_switch_cost
+    assert 0.5 * derived < calibrated < 2.0 * derived
+
+
+def test_mean_service_accounting():
+    core = OversubscribedCore()
+    assert core.mean_service == 0.0
+    core.serve(0, 1e-6)
+    core.serve(1, 1e-6)
+    assert core.mean_service == pytest.approx(core.busy_seconds / 2)

@@ -1,0 +1,101 @@
+"""Tests for SDMA descriptor construction — the 4KB vs 10KB asymmetry."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DriverError
+from repro.linux.hfi1.sdma import (build_descs_from_pages,
+                                   build_descs_from_spans,
+                                   split_spans_for_tids)
+from repro.units import KiB, PAGE_SIZE
+
+
+def test_linux_style_one_desc_per_page():
+    pages = [i * PAGE_SIZE for i in range(16)]  # physically contiguous!
+    descs = build_descs_from_pages(pages, 0, 16 * PAGE_SIZE)
+    # contiguity is invisible: still 16 descriptors of 4KB
+    assert len(descs) == 16
+    assert all(d.nbytes == PAGE_SIZE for d in descs)
+
+
+def test_linux_style_never_exceeds_page_size():
+    pages = [i * PAGE_SIZE for i in range(4)]
+    descs = build_descs_from_pages(pages, 0, 4 * PAGE_SIZE,
+                                   max_request=10 * KiB)
+    assert max(d.nbytes for d in descs) == PAGE_SIZE
+
+
+def test_linux_style_handles_offset_and_partial_tail():
+    pages = [0x10000, 0x11000, 0x99000]
+    descs = build_descs_from_pages(pages, 0x800, 2 * PAGE_SIZE)
+    assert descs[0].paddr == 0x10800 and descs[0].nbytes == PAGE_SIZE - 0x800
+    assert sum(d.nbytes for d in descs) == 2 * PAGE_SIZE
+
+
+def test_linux_style_short_page_list_rejected():
+    with pytest.raises(DriverError):
+        build_descs_from_pages([0], 0, 2 * PAGE_SIZE)
+
+
+def test_pico_style_coalesces_to_hardware_max():
+    spans = [(0x100000, 40 * KiB)]
+    descs = build_descs_from_spans(spans, 10 * KiB)
+    assert [d.nbytes for d in descs] == [10 * KiB] * 4
+    assert descs[1].paddr == 0x100000 + 10 * KiB
+
+
+def test_pico_style_respects_span_boundaries():
+    spans = [(0x100000, 12 * KiB), (0x900000, 4 * KiB)]
+    descs = build_descs_from_spans(spans, 10 * KiB)
+    assert [d.nbytes for d in descs] == [10 * KiB, 2 * KiB, 4 * KiB]
+
+
+def test_desc_count_ratio_for_4mb():
+    """The Figure 4 mechanism: 1024 descriptors vs 410 for 4MB."""
+    total = 4 * 1024 * KiB
+    pages = [i * PAGE_SIZE for i in range(total // PAGE_SIZE)]
+    linux = build_descs_from_pages(pages, 0, total)
+    pico = build_descs_from_spans([(0, total)], 10 * KiB)
+    assert len(linux) == 1024
+    assert len(pico) == -(-total // (10 * KiB))  # 410
+    assert len(pico) < 0.45 * len(linux)
+
+
+def test_split_spans_for_tids():
+    spans = [(0, 5 * KiB), (0x100000, 3 * KiB)]
+    out = split_spans_for_tids(spans, 2 * KiB)
+    assert out == [(0, 2 * KiB), (2 * KiB, 2 * KiB), (4 * KiB, 1 * KiB),
+                   (0x100000, 2 * KiB), (0x100000 + 2 * KiB, 1 * KiB)]
+
+
+def test_bad_inputs_rejected():
+    with pytest.raises(DriverError):
+        build_descs_from_pages([0], 0, 0)
+    with pytest.raises(DriverError):
+        build_descs_from_pages([0], PAGE_SIZE, KiB)
+    with pytest.raises(DriverError):
+        build_descs_from_spans([(0, 0)], 10 * KiB)
+    with pytest.raises(DriverError):
+        build_descs_from_spans([(0, KiB)], 0)
+
+
+@given(
+    lengths=st.lists(st.integers(1, 64 * KiB), min_size=1, max_size=12),
+    max_request=st.sampled_from([2 * KiB, 4 * KiB, 10 * KiB]),
+)
+@settings(max_examples=80)
+def test_span_descs_partition_the_bytes(lengths, max_request):
+    """Property: descriptors exactly cover the spans, none oversized."""
+    base = 0
+    spans = []
+    for ln in lengths:
+        spans.append((base, ln))
+        base += ln + 0x100000  # keep spans non-adjacent
+    descs = build_descs_from_spans(spans, max_request)
+    assert sum(d.nbytes for d in descs) == sum(lengths)
+    assert all(0 < d.nbytes <= max_request for d in descs)
+    # descriptors are ordered and disjoint within each span
+    for (pa, ln) in spans:
+        inside = [d for d in descs if pa <= d.paddr < pa + ln]
+        assert sum(d.nbytes for d in inside) == ln

@@ -1,0 +1,81 @@
+"""Unit tests for the VFS layer: chrdevs, fd tables, file ops defaults."""
+
+import pytest
+
+from repro.errors import BadSyscall
+from repro.linux.vfs import VFS, File, FileOps
+from repro.sim import Simulator
+
+
+def test_register_and_lookup_chrdev():
+    vfs = VFS()
+    ops = FileOps()
+    vfs.register_chrdev("/dev/hfi1_0", ops)
+    assert vfs.is_device("/dev/hfi1_0")
+    assert vfs.lookup("/dev/hfi1_0") is ops
+
+
+def test_double_register_rejected():
+    vfs = VFS()
+    vfs.register_chrdev("/dev/x", FileOps())
+    with pytest.raises(BadSyscall):
+        vfs.register_chrdev("/dev/x", FileOps())
+
+
+def test_regular_paths_get_default_ops():
+    vfs = VFS()
+    assert not vfs.is_device("/etc/hosts")
+    assert isinstance(vfs.lookup("/etc/hosts"), FileOps)
+
+
+def test_fd_numbers_start_at_three_and_increment():
+    vfs = VFS()
+    f1, f2 = File("/a", FileOps()), File("/b", FileOps())
+    assert vfs.install_fd("t", f1) == 3
+    assert vfs.install_fd("t", f2) == 4
+    assert vfs.file_for("t", 3) is f1
+
+
+def test_fd_tables_are_per_task():
+    vfs = VFS()
+    fd_a = vfs.install_fd("a", File("/x", FileOps()))
+    fd_b = vfs.install_fd("b", File("/y", FileOps()))
+    assert fd_a == fd_b == 3
+    assert vfs.file_for("a", 3).path == "/x"
+    assert vfs.file_for("b", 3).path == "/y"
+
+
+def test_bad_fd_rejected():
+    vfs = VFS()
+    with pytest.raises(BadSyscall):
+        vfs.file_for("t", 3)
+
+
+def test_close_removes_fd():
+    vfs = VFS()
+    fd = vfs.install_fd("t", File("/x", FileOps()))
+    vfs.close_fd("t", fd)
+    with pytest.raises(BadSyscall):
+        vfs.file_for("t", fd)
+    with pytest.raises(BadSyscall):
+        vfs.close_fd("t", fd)
+
+
+def test_default_fileops_reject_data_ops():
+    sim = Simulator()
+    ops = FileOps()
+    file = File("/x", ops)
+
+    def try_writev():
+        yield from ops.writev(None, file, None, [])
+
+    proc = sim.process(try_writev())
+    sim.run()
+    assert isinstance(proc.exception, BadSyscall)
+
+    def try_ioctl():
+        yield from ops.ioctl(None, file, None, 0, None)
+
+    proc = sim.process(try_ioctl())
+    sim.run()
+    assert isinstance(proc.exception, BadSyscall)

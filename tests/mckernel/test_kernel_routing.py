@@ -1,0 +1,150 @@
+"""McKernel syscall-routing tests: what runs locally, what offloads,
+and the proxy-process bookkeeping."""
+
+import pytest
+
+from repro.config import OSConfig
+from repro.errors import BadSyscall, ReproError
+from repro.experiments import build_machine
+from repro.units import MiB, PAGE_SIZE
+
+
+@pytest.fixture()
+def machine():
+    return build_machine(1, OSConfig.MCKERNEL)
+
+
+def run(machine, body, rank=0):
+    task = machine.spawn_rank(0, rank)
+    proc = machine.sim.process(body(task))
+    machine.sim.run(until=proc)
+    return task, proc.value
+
+
+def test_anonymous_mmap_is_local(machine):
+    before = machine.nodes[0].mckernel.tracer.get_count("offload.calls")
+
+    def body(task):
+        va = yield from task.syscall("mmap", 1 * MiB)
+        return va
+
+    task, va = run(machine, body)
+    after = machine.nodes[0].mckernel.tracer.get_count("offload.calls")
+    assert after == before                    # no offload for anon mmap
+    assert task.pagetable.is_pinned(va, 1 * MiB)
+
+
+def test_munmap_is_local_plus_shadow_offload(machine):
+    mck = machine.nodes[0].mckernel
+
+    def body(task):
+        va = yield from task.syscall("mmap", 1 * MiB)
+        before = mck.tracer.get_count("offload.calls")
+        yield from task.syscall("munmap", va, 1 * MiB)
+        return mck.tracer.get_count("offload.calls") - before
+
+    _, shadow_calls = run(machine, body)
+    assert shadow_calls == 1                  # the proxy shadow unmap
+
+
+def test_nanosleep_is_local(machine):
+    mck = machine.nodes[0].mckernel
+
+    def body(task):
+        before = mck.tracer.get_count("offload.calls")
+        t0 = machine.sim.now
+        yield from task.syscall("nanosleep", 1e-3)
+        return (machine.sim.now - t0,
+                mck.tracer.get_count("offload.calls") - before)
+
+    _, (elapsed, offloads) = run(machine, body)
+    assert elapsed >= 1e-3
+    assert offloads == 0
+
+
+def test_proxy_shares_user_pagetable(machine):
+    mck = machine.nodes[0].mckernel
+
+    def body(task):
+        va = yield from task.syscall("mmap", 64 * PAGE_SIZE)
+        return va
+
+    task, va = run(machine, body)
+    proxy = mck.proxy_for(task)
+    assert proxy.linux_task.pagetable is task.pagetable
+    assert proxy.linux_task.pagetable.translate(va) == \
+        task.pagetable.translate(va)
+
+
+def test_device_fd_cache_lifecycle(machine):
+    mck = machine.nodes[0].mckernel
+
+    def body(task):
+        fd = yield from task.syscall("open", "/dev/hfi1_0")
+        path, file = mck.device_file(task, fd)
+        assert path == "/dev/hfi1_0"
+        yield from task.syscall("close", fd)
+        return fd
+
+    task, fd = run(machine, body)
+    with pytest.raises(BadSyscall):
+        mck.device_file(task, fd)
+
+
+def test_regular_file_fds_not_cached_as_devices(machine):
+    def body(task):
+        fd = yield from task.syscall("open", "/etc/motd")
+        return fd
+
+    task, fd = run(machine, body)
+    with pytest.raises(BadSyscall):
+        machine.nodes[0].mckernel.device_file(task, fd)
+
+
+def test_proxy_required_for_offload(machine):
+    mck = machine.nodes[0].mckernel
+    orphan = mck.spawn_task("orphan", 99)     # no proxy created
+
+    def body():
+        yield from mck.syscall(orphan, "open", "/etc/passwd")
+
+    proc = machine.sim.process(body())
+    machine.sim.run()
+    assert isinstance(proc.exception, ReproError)
+
+
+def test_oversubscribed_core_timeshares(machine):
+    """Two tasks on one LWK core co-operatively share it: computation
+    takes proportionally longer; a lone task is exact (tick-less)."""
+    mck = machine.nodes[0].mckernel
+    core = mck.partition.cores[0].core_id
+    a = mck.spawn_process("share-a", core_id=core)
+    b = mck.spawn_process("share-b", core_id=core)
+    lone_core = mck.partition.cores[1].core_id
+    lone = mck.spawn_process("lone", core_id=lone_core)
+
+    def body(task):
+        t0 = machine.sim.now
+        yield from task.compute(1e-3)
+        return machine.sim.now - t0
+
+    procs = [machine.sim.process(body(t)) for t in (a, b, lone)]
+    machine.sim.run()
+    assert procs[2].value == pytest.approx(1e-3)        # exact, no noise
+    assert procs[0].value == pytest.approx(2e-3)        # shared core
+    assert procs[1].value == pytest.approx(2e-3)
+
+
+def test_fd_numbers_come_from_linux(machine):
+    """McKernel 'simply returns the number it receives from the proxy
+    process' (paper section 2.1)."""
+    mck = machine.nodes[0].mckernel
+
+    def body(task):
+        fd = yield from task.syscall("open", "/dev/hfi1_0")
+        proxy = mck.proxy_for(task)
+        linux_file = machine.nodes[0].linux.vfs.file_for(proxy.name, fd)
+        return linux_file.path
+
+    _, path = run(machine, body)
+    assert path == "/dev/hfi1_0"

@@ -1,0 +1,126 @@
+"""Tests for McKernel memory management: contiguity, pinning, per-core
+allocation and the foreign-CPU kfree extension."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.hw import FrameAllocator, SharedHeap
+from repro.kernels.base import Task
+from repro.mckernel.mm import LwkMM, PerCoreAllocator
+from repro.params import default_params
+from repro.units import MiB, PAGE_SIZE
+
+
+class _FakeKernel:
+    name = "mckernel"
+
+
+def make_mm(frames=128 * 1024):
+    params = default_params()
+    alloc = FrameAllocator(frames, name="lwk")
+    mm = LwkMM(params, alloc)
+    task = Task("t", _FakeKernel(), 0)
+    return params, mm, task, alloc
+
+
+def test_anonymous_memory_is_contiguous_and_large_paged():
+    params, mm, task, _ = make_mm()
+    va = mm.alloc_anonymous(task, 4 * MiB)
+    spans = task.pagetable.phys_spans(va, 4 * MiB)
+    assert len(spans) == 1                      # fully contiguous
+    assert len(task.pagetable) == 2             # two 2MB entries
+
+
+def test_anonymous_memory_is_pinned():
+    params, mm, task, _ = make_mm()
+    va = mm.alloc_anonymous(task, 1 * MiB)
+    assert task.pagetable.is_pinned(va, 1 * MiB)
+
+
+def test_small_allocations_still_contiguous():
+    params, mm, task, _ = make_mm()
+    va = mm.alloc_anonymous(task, 24 * 1024)
+    assert len(task.pagetable.phys_spans(va, 24 * 1024)) == 1
+
+
+def test_fallback_when_fragmented():
+    """Under fragmentation the LWK still allocates, just less contiguously."""
+    params, mm, task, alloc = make_mm(frames=1024)
+    singles = [alloc.alloc_contiguous(1) for _ in range(1024)]
+    alloc.free(singles[::2])   # free every other frame: no run of 2 exists
+    va = mm.alloc_anonymous(task, 16 * PAGE_SIZE)
+    spans = task.pagetable.phys_spans(va, 16 * PAGE_SIZE)
+    assert len(spans) == 16
+    alloc.free(singles[1::2])
+
+
+def test_free_anonymous_returns_frames():
+    params, mm, task, alloc = make_mm()
+    before = alloc.free_frames
+    va = mm.alloc_anonymous(task, 2 * MiB)
+    mm.free_anonymous(task, va, 2 * MiB)
+    assert alloc.free_frames == before
+
+
+def test_lwk_frames_preserve_global_frame_numbers():
+    """IHK hands the LWK a window with absolute frame numbers."""
+    params = default_params()
+    alloc = FrameAllocator(1024, base_frame=5000)
+    mm = LwkMM(params, alloc)
+    task = Task("t", _FakeKernel(), 0)
+    va = mm.alloc_anonymous(task, 64 * 1024)
+    pa = task.pagetable.translate(va)
+    assert pa >= 5000 * PAGE_SIZE
+
+
+# --- per-core allocator -------------------------------------------------------
+
+def make_alloc():
+    params = default_params()
+    heap = SharedHeap(1 << 20)
+    alloc = PerCoreAllocator(params, heap, lwk_cores={4, 5, 6, 7})
+    return params, heap, alloc
+
+
+def test_kmalloc_kfree_on_lwk_core():
+    params, heap, alloc = make_alloc()
+    addr, cost = alloc.kmalloc(192, core_id=4)
+    assert cost == params.mem.kmalloc_cost
+    assert alloc.kfree(addr, core_id=5) == params.mem.kfree_cost
+    assert alloc.live_objects() == 0
+
+
+def test_kmalloc_on_linux_core_rejected():
+    params, heap, alloc = make_alloc()
+    with pytest.raises(ReproError):
+        alloc.kmalloc(64, core_id=0)
+
+
+def test_kfree_on_linux_cpu_fails_without_extension():
+    """The unmodified behaviour: SDMA completion on a Linux CPU cannot
+    free McKernel memory (section 3.3)."""
+    params, heap, alloc = make_alloc()
+    addr, _ = alloc.kmalloc(64, core_id=4)
+    with pytest.raises(ReproError, match="non-LWK CPU"):
+        alloc.kfree(addr, core_id=0)
+    # the object survives the failed free
+    assert alloc.live_objects() == 1
+
+
+def test_foreign_free_extension():
+    params, heap, alloc = make_alloc()
+    alloc.foreign_free_enabled = True
+    addr, _ = alloc.kmalloc(64, core_id=4)
+    cost = alloc.kfree(addr, core_id=0)      # a Linux CPU
+    assert cost == params.mem.foreign_free_cost
+    assert cost > params.mem.kfree_cost
+    assert alloc.foreign_frees == 1
+    assert alloc.live_objects() == 0
+
+
+def test_double_kfree_rejected():
+    params, heap, alloc = make_alloc()
+    addr, _ = alloc.kmalloc(64, core_id=4)
+    alloc.kfree(addr, core_id=4)
+    with pytest.raises(ReproError):
+        alloc.kfree(addr, core_id=4)

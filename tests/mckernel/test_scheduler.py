@@ -1,0 +1,71 @@
+"""Tests for the co-operative tick-less scheduler."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.kernels.base import Task
+from repro.mckernel.scheduler import CoopScheduler
+
+
+class _FakeKernel:
+    name = "mckernel"
+
+
+def make_task(name):
+    return Task(name, _FakeKernel(), -1)
+
+
+def test_enqueue_least_loaded():
+    sched = CoopScheduler([0, 1])
+    a, b, c = make_task("a"), make_task("b"), make_task("c")
+    assert sched.enqueue(a) == 0
+    assert sched.enqueue(b) == 1
+    assert sched.enqueue(c) in (0, 1)
+    assert sched.load(0) + sched.load(1) == 3
+
+
+def test_explicit_core_placement():
+    sched = CoopScheduler([0, 1, 2])
+    t = make_task("t")
+    assert sched.enqueue(t, core_id=2) == 2
+    assert sched.current(2) is t
+
+
+def test_unknown_core_rejected():
+    sched = CoopScheduler([0])
+    with pytest.raises(ReproError):
+        sched.enqueue(make_task("t"), core_id=9)
+
+
+def test_yield_rotates_run_queue():
+    sched = CoopScheduler([0])
+    a, b = make_task("a"), make_task("b")
+    sched.enqueue(a, 0)
+    sched.enqueue(b, 0)
+    assert sched.current(0) is a
+    assert sched.yield_cpu(0) is b
+    assert sched.yield_cpu(0) is a
+
+
+def test_yield_on_empty_core():
+    sched = CoopScheduler([0])
+    assert sched.yield_cpu(0) is None
+
+
+def test_dequeue():
+    sched = CoopScheduler([0])
+    t = make_task("t")
+    sched.enqueue(t, 0)
+    sched.dequeue(t)
+    assert sched.current(0) is None
+    with pytest.raises(ReproError):
+        sched.dequeue(t)
+
+
+def test_no_cores_rejected():
+    with pytest.raises(ReproError):
+        CoopScheduler([])
+
+
+def test_tickless_invariant():
+    assert CoopScheduler([0]).is_tickless

@@ -1,0 +1,117 @@
+"""Tests for persistent communication (MPI_Send_init/Start/Request_free)."""
+
+import pytest
+
+from repro.config import OSConfig
+from repro.errors import ReproError
+from repro.experiments import build_machine
+from repro.mpi import MpiWorld
+from repro.units import KiB
+
+
+def run_world(rank_main, n_nodes=2, ranks_per_node=1,
+              cfg=OSConfig.LINUX):
+    machine = build_machine(n_nodes, cfg)
+    world = MpiWorld.build(machine, ranks_per_node)
+    results = world.launch(rank_main)
+    return world, results
+
+
+def test_persistent_channel_delivers_repeatedly():
+    def main(rank):
+        if rank.rank == 0:
+            chan = rank.send_init(1, "ring", 8 * KiB)
+            for _ in range(3):
+                yield from chan.start()
+                yield from chan.wait()
+            chan.free()
+            return None
+        chan = rank.recv_init(0, "ring", 8 * KiB)
+        got = []
+        for _ in range(3):
+            req = yield from chan.start()
+            yield from chan.wait()
+            got.append(req.nbytes)
+        chan.free()
+        return got
+
+    _, results = run_world(main)
+    assert results[1] == [8 * KiB] * 3
+
+
+def test_start_records_stats_not_isend():
+    def main(rank):
+        peer = 1 - rank.rank
+        send = rank.send_init(peer, "x", 4 * KiB)
+        recv = rank.recv_init(peer, "x", 4 * KiB)
+        yield from recv.start()
+        yield from send.start()
+        yield from send.wait()
+        yield from recv.wait()
+        send.free()
+        recv.free()
+        return None
+
+    world, _ = run_world(main)
+    stats = world.aggregate_stats()
+    assert stats.time_in("Start") > 0
+    assert stats.time_in("Wait") > 0
+    assert stats.calls_to("Request_free") == 4
+    assert stats.time_in("Isend") == 0      # folded into Start
+
+
+def test_start_after_free_rejected():
+    def main(rank):
+        if rank.rank == 1:
+            return None
+            yield  # pragma: no cover
+        chan = rank.send_init(1, "x", 1 * KiB)
+        chan.free()
+        yield from chan.start()
+
+    machine = build_machine(2, OSConfig.LINUX)
+    world = MpiWorld.build(machine, 1)
+    with pytest.raises(ReproError, match="freed"):
+        world.launch(main)
+
+
+def test_double_start_without_wait_rejected():
+    def main(rank):
+        if rank.rank == 1:
+            req = rank.irecv(0, None, 8 * KiB)
+            return None
+            yield  # pragma: no cover
+        chan = rank.send_init(1, "x", 256 * KiB)   # rendezvous: stays active
+        yield from chan.start()
+        yield from chan.start()
+
+    machine = build_machine(2, OSConfig.LINUX)
+    world = MpiWorld.build(machine, 1)
+    with pytest.raises(ReproError, match="active"):
+        world.launch(main)
+
+
+def test_wait_without_start_rejected():
+    def main(rank):
+        chan = rank.send_init((rank.rank + 1) % rank.size, "x", 1 * KiB)
+        yield from chan.wait()
+
+    machine = build_machine(2, OSConfig.LINUX)
+    world = MpiWorld.build(machine, 1)
+    with pytest.raises(ReproError, match="no started instance"):
+        world.launch(main)
+
+
+def test_double_free_rejected():
+    machine = build_machine(1, OSConfig.LINUX)
+    world = MpiWorld.build(machine, 2)
+
+    def main(rank):
+        chan = rank.send_init((rank.rank + 1) % 2, "x", 1 * KiB)
+        chan.free()
+        chan.free()
+        return None
+        yield  # pragma: no cover
+
+    with pytest.raises(ReproError, match="double"):
+        world.launch(main)

@@ -1,0 +1,78 @@
+"""Unit tests for the I_MPI_STATS-style profile accumulator."""
+
+import pytest
+
+from repro.mpi.stats import MpiStats
+
+
+def test_record_and_totals():
+    s = MpiStats()
+    s.record("Wait", 1.0)
+    s.record("Wait", 2.0)
+    s.record("Barrier", 3.0)
+    assert s.time_in("Wait") == pytest.approx(3.0)
+    assert s.calls_to("Wait") == 2
+    assert s.total_mpi_time == pytest.approx(6.0)
+
+
+def test_context_suppression():
+    """Inside a collective, point-to-point records are suppressed."""
+    s = MpiStats()
+    s.push("Allreduce")
+    s.record("Isend", 1.0)
+    s.record("Recv", 1.0)
+    s.pop()
+    s.record("Allreduce", 5.0)
+    assert s.time_in("Isend") == 0.0
+    assert s.time_in("Allreduce") == pytest.approx(5.0)
+
+
+def test_nested_contexts():
+    s = MpiStats()
+    s.push("Cart_create")
+    s.push("Allgather")
+    s.record("Isend", 1.0)
+    s.pop()
+    s.record("Allgather", 2.0)   # still inside Cart_create: suppressed
+    s.pop()
+    s.record("Cart_create", 9.0)
+    assert s.time_in("Allgather") == 0.0
+    assert s.time_in("Cart_create") == pytest.approx(9.0)
+
+
+def test_top_rows_and_percentages():
+    s = MpiStats()
+    s.record("Wait", 6.0)
+    s.record("Barrier", 3.0)
+    s.record("Init", 1.0)
+    s.add_runtime(50.0)
+    rows = s.top(2)
+    assert [r.call for r in rows] == ["Wait", "Barrier"]
+    assert rows[0].pct_mpi == pytest.approx(60.0)
+    assert rows[0].pct_runtime == pytest.approx(12.0)
+
+
+def test_merge():
+    a, b = MpiStats(), MpiStats()
+    a.record("Wait", 1.0)
+    b.record("Wait", 2.0)
+    b.record("Bcast", 4.0)
+    b.add_runtime(10.0)
+    a.merge(b)
+    assert a.time_in("Wait") == pytest.approx(3.0)
+    assert a.time_in("Bcast") == pytest.approx(4.0)
+    assert a.total_runtime == pytest.approx(10.0)
+
+
+def test_render():
+    s = MpiStats()
+    s.record("Wait", 1.5)
+    s.add_runtime(10.0)
+    text = s.render(label="test")
+    assert "Wait" in text and "Call (MPI_)" in text
+
+
+def test_empty_stats():
+    s = MpiStats()
+    assert s.top() == []
+    assert s.total_mpi_time == 0.0

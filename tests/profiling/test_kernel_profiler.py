@@ -1,0 +1,65 @@
+"""Tests for the kernel profiler, including micro-run integration."""
+
+import pytest
+
+from repro.config import OSConfig
+from repro.experiments import build_machine
+from repro.profiling import KernelProfile, profile_from_tracer
+from repro.profiling.kernel_profiler import profile_from_mapping
+from repro.sim import Tracer
+
+
+def test_profile_shares_and_dominant():
+    p = KernelProfile(times={"writev": 3.0, "ioctl": 6.0, "mmap": 1.0})
+    assert p.total == pytest.approx(10.0)
+    assert p.share("ioctl") == pytest.approx(0.6)
+    assert p.dominant() == "ioctl"
+    shares = p.shares()
+    assert list(shares)[0] == "ioctl"   # sorted descending
+
+
+def test_empty_profile():
+    p = KernelProfile(times={})
+    assert p.total == 0.0
+    assert p.dominant() is None
+    assert p.share("writev") == 0.0
+
+
+def test_ratio_to():
+    a = KernelProfile(times={"writev": 1.0})
+    b = KernelProfile(times={"writev": 4.0})
+    assert a.ratio_to(b) == pytest.approx(0.25)
+
+
+def test_profile_from_tracer_skips_counters():
+    t = Tracer()
+    t.record("syscall.writev", 2.0)
+    t.record("syscall.ioctl", 1.0)
+    t.count("syscall.writev.calls", 5)
+    t.record("mpi.Wait", 9.0)
+    p = profile_from_tracer(t)
+    assert set(p.times) == {"writev", "ioctl"}
+    assert p.times["writev"] == pytest.approx(2.0)
+
+
+def test_profile_from_micro_run():
+    """The detailed simulator's syscall accounting feeds the profiler."""
+    machine = build_machine(1, OSConfig.MCKERNEL)
+    task = machine.spawn_rank(0, 0)
+
+    def body():
+        fd = yield from task.syscall("open", "/dev/hfi1_0")
+        va = yield from task.syscall("mmap", 1 << 20)
+        yield from task.syscall("munmap", va, 1 << 20)
+        yield from task.syscall("close", fd)
+
+    machine.sim.run(until=machine.sim.process(body()))
+    profile = profile_from_tracer(machine.tracer)
+    assert {"open", "mmap", "munmap", "close"} <= set(profile.times)
+    assert profile.total > 0
+    assert "munmap()" in profile.render("test")
+
+
+def test_profile_from_mapping():
+    p = profile_from_mapping({"munmap": 5.0, "writev": 1.0})
+    assert p.dominant() == "munmap"

@@ -1,0 +1,77 @@
+"""Tests for PSM matched-queue semantics."""
+
+import pytest
+
+from repro.psm.mq import MatchedQueue, MqRequest, TagMatcher, UnexpectedMessage
+from repro.errors import ReproError
+from repro.sim import Simulator
+
+
+SRC_A = (0, 0)
+SRC_B = (1, 3)
+
+
+def test_exact_tag_matching():
+    m = TagMatcher(source=SRC_A, tag="t1")
+    assert m.matches(SRC_A, "t1")
+    assert not m.matches(SRC_B, "t1")
+    assert not m.matches(SRC_A, "t2")
+
+
+def test_wildcard_matching():
+    assert TagMatcher().matches(SRC_B, "anything")
+    assert TagMatcher(tag="t").matches(SRC_A, "t")
+    assert TagMatcher(source=SRC_A).matches(SRC_A, "x")
+
+
+def test_posted_receive_matches_arrival_in_order():
+    sim = Simulator()
+    mq = MatchedQueue(sim)
+    r1, _ = mq.post_recv(TagMatcher(tag="t"))
+    r2, _ = mq.post_recv(TagMatcher(tag="t"))
+    assert mq.match_arrival(SRC_A, "t") is r1
+    assert mq.match_arrival(SRC_A, "t") is r2
+    assert mq.match_arrival(SRC_A, "t") is None
+
+
+def test_unexpected_messages_match_retroactively_in_order():
+    sim = Simulator()
+    mq = MatchedQueue(sim)
+    mq.add_unexpected(UnexpectedMessage(SRC_A, "t", 10, payload="first"))
+    mq.add_unexpected(UnexpectedMessage(SRC_A, "t", 20, payload="second"))
+    req, msg = mq.post_recv(TagMatcher(tag="t"))
+    assert msg.payload == "first"
+    req2, msg2 = mq.post_recv(TagMatcher(tag="t"))
+    assert msg2.payload == "second"
+    _, none = mq.post_recv(TagMatcher(tag="t"))
+    assert none is None
+
+
+def test_unexpected_selected_by_matcher_not_order():
+    sim = Simulator()
+    mq = MatchedQueue(sim)
+    mq.add_unexpected(UnexpectedMessage(SRC_A, "x", 1))
+    mq.add_unexpected(UnexpectedMessage(SRC_B, "y", 2))
+    req, msg = mq.post_recv(TagMatcher(tag="y"))
+    assert msg.source == SRC_B
+    assert mq.counts() == (0, 1)
+
+
+def test_request_completion_event():
+    sim = Simulator()
+    req = MqRequest(sim, "recv", TagMatcher())
+    assert not req.done
+    req.complete(SRC_A, "t", 128, payload="p")
+    assert req.done
+    sim.run()
+    assert req.event.value is req
+    assert (req.source, req.tag, req.nbytes, req.payload) == \
+        (SRC_A, "t", 128, "p")
+
+
+def test_double_completion_rejected():
+    sim = Simulator()
+    req = MqRequest(sim, "recv", TagMatcher())
+    req.complete(SRC_A, "t", 1)
+    with pytest.raises(ReproError):
+        req.complete(SRC_A, "t", 1)

@@ -1,0 +1,156 @@
+"""Unit tests for the discrete-event engine: clock, ordering, run modes."""
+
+import pytest
+
+from repro.sim import SimError, Simulator
+
+
+def test_initial_clock_is_zero():
+    assert Simulator().now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    sim.timeout(2.5)
+    sim.run()
+    assert sim.now == 2.5
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimError):
+        sim.timeout(-1.0)
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    for delay in (3.0, 1.0, 2.0):
+        sim.timeout(delay).add_callback(lambda e, d=delay: order.append(d))
+    sim.run()
+    assert order == [1.0, 2.0, 3.0]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+    for i in range(5):
+        sim.timeout(1.0).add_callback(lambda e, i=i: order.append(i))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_event_succeed_sets_value():
+    sim = Simulator()
+    evt = sim.event()
+    evt.succeed(42)
+    sim.run()
+    assert evt.processed and evt.ok and evt.value == 42
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    evt = sim.event()
+    evt.succeed(1)
+    with pytest.raises(SimError):
+        evt.succeed(2)
+    with pytest.raises(SimError):
+        evt.fail(RuntimeError("boom"))
+
+
+def test_event_fail_raises_on_value_access():
+    sim = Simulator()
+    evt = sim.event()
+    evt.fail(RuntimeError("boom"))
+    sim.run()
+    assert not evt.ok
+    with pytest.raises(RuntimeError):
+        _ = evt.value
+
+
+def test_fail_requires_exception_instance():
+    sim = Simulator()
+    with pytest.raises(SimError):
+        sim.event().fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_value_before_trigger_rejected():
+    sim = Simulator()
+    with pytest.raises(SimError):
+        _ = sim.event().value
+
+
+def test_late_callback_runs_immediately():
+    sim = Simulator()
+    evt = sim.timeout(1.0, value="x")
+    sim.run()
+    seen = []
+    evt.add_callback(lambda e: seen.append(e.value))
+    assert seen == ["x"]
+
+
+def test_run_until_time_stops_clock_exactly():
+    sim = Simulator()
+    fired = []
+    sim.timeout(1.0).add_callback(lambda e: fired.append(1))
+    sim.timeout(5.0).add_callback(lambda e: fired.append(5))
+    sim.run(until=2.0)
+    assert fired == [1] and sim.now == 2.0
+    sim.run()
+    assert fired == [1, 5]
+
+
+def test_run_until_past_time_rejected():
+    sim = Simulator()
+    sim.run(until=3.0)
+    with pytest.raises(SimError):
+        sim.run(until=1.0)
+
+
+def test_run_until_event_returns_value():
+    sim = Simulator()
+    assert sim.run(until=sim.timeout(1.5, value="done")) == "done"
+    assert sim.now == 1.5
+
+
+def test_run_until_untriggerable_event_raises_deadlock():
+    sim = Simulator()
+    orphan = sim.event()  # never triggered
+    with pytest.raises(SimError, match="deadlock"):
+        sim.run(until=orphan)
+
+
+def test_step_on_empty_queue_rejected():
+    with pytest.raises(SimError):
+        Simulator().step()
+
+
+def test_peek_returns_next_event_time():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+    sim.timeout(4.0)
+    sim.timeout(2.0)
+    assert sim.peek() == 2.0
+
+
+def test_callbacks_see_current_sim_time():
+    sim = Simulator()
+    stamps = []
+    sim.timeout(1.0).add_callback(lambda e: stamps.append(sim.now))
+    sim.timeout(2.0).add_callback(lambda e: stamps.append(sim.now))
+    sim.run()
+    assert stamps == [1.0, 2.0]
+
+
+def test_nested_scheduling_from_callback():
+    sim = Simulator()
+    order = []
+
+    def chain(e):
+        order.append(sim.now)
+        if sim.now < 3.0:
+            sim.timeout(1.0).add_callback(chain)
+
+    sim.timeout(1.0).add_callback(chain)
+    sim.run()
+    assert order == [1.0, 2.0, 3.0]

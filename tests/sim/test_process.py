@@ -1,0 +1,179 @@
+"""Unit tests for generator processes and condition events."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, SimError, Simulator
+from repro.sim.process import Interrupt
+
+
+def test_process_consumes_timeouts():
+    sim = Simulator()
+
+    def body():
+        yield sim.timeout(1.0)
+        yield sim.timeout(2.0)
+        return "done"
+
+    proc = sim.process(body())
+    result = sim.run(until=proc)
+    assert result == "done"
+    assert sim.now == 3.0
+
+
+def test_process_receives_event_values():
+    sim = Simulator()
+
+    def body():
+        got = yield sim.timeout(1.0, value=7)
+        return got * 2
+
+    assert sim.run(until=sim.process(body())) == 14
+
+
+def test_processes_compose():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(2.0)
+        return "child-value"
+
+    def parent():
+        value = yield sim.process(child())
+        return value.upper()
+
+    assert sim.run(until=sim.process(parent())) == "CHILD-VALUE"
+
+
+def test_failed_event_raises_inside_process():
+    sim = Simulator()
+
+    def body():
+        evt = sim.event()
+        sim.timeout(1.0).add_callback(lambda e: evt.fail(ValueError("bad")))
+        try:
+            yield evt
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    assert sim.run(until=sim.process(body())) == "caught bad"
+
+
+def test_unhandled_process_exception_fails_process_event():
+    sim = Simulator()
+
+    def body():
+        yield sim.timeout(1.0)
+        raise RuntimeError("kernel panic")
+
+    proc = sim.process(body())
+    sim.run()
+    assert proc.triggered and not proc.ok
+    assert isinstance(proc.exception, RuntimeError)
+
+
+def test_child_failure_propagates_to_parent():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(1.0)
+        raise RuntimeError("injected fault")
+
+    def parent():
+        try:
+            yield sim.process(child())
+        except RuntimeError:
+            return "recovered"
+
+    assert sim.run(until=sim.process(parent())) == "recovered"
+
+
+def test_yielding_non_event_is_an_error():
+    sim = Simulator()
+
+    def body():
+        yield 42  # not an Event
+
+    proc = sim.process(body())
+    sim.run()
+    assert isinstance(proc.exception, SimError)
+
+
+def test_non_generator_body_rejected():
+    sim = Simulator()
+    with pytest.raises(SimError):
+        sim.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_interrupt_wakes_process_early():
+    sim = Simulator()
+
+    def body():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as intr:
+            return ("interrupted", sim.now, intr.cause)
+
+    proc = sim.process(body())
+    sim.timeout(5.0).add_callback(lambda e: proc.interrupt("preempted"))
+    assert sim.run(until=proc) == ("interrupted", 5.0, "preempted")
+
+
+def test_interrupt_finished_process_rejected():
+    sim = Simulator()
+
+    def body():
+        yield sim.timeout(1.0)
+
+    proc = sim.process(body())
+    sim.run()
+    with pytest.raises(SimError):
+        proc.interrupt()
+
+
+def test_allof_waits_for_every_event():
+    sim = Simulator()
+
+    def body():
+        t1, t2 = sim.timeout(1.0, "a"), sim.timeout(3.0, "b")
+        values = yield AllOf(sim, [t1, t2])
+        return (sim.now, sorted(values.values()))
+
+    assert sim.run(until=sim.process(body())) == (3.0, ["a", "b"])
+
+
+def test_anyof_returns_on_first_event():
+    sim = Simulator()
+
+    def body():
+        t1, t2 = sim.timeout(1.0, "fast"), sim.timeout(3.0, "slow")
+        values = yield AnyOf(sim, [t1, t2])
+        return (sim.now, list(values.values()))
+
+    assert sim.run(until=sim.process(body())) == (1.0, ["fast"])
+
+
+def test_empty_allof_triggers_immediately():
+    sim = Simulator()
+
+    def body():
+        yield AllOf(sim, [])
+        return sim.now
+
+    assert sim.run(until=sim.process(body())) == 0.0
+
+
+def test_many_processes_interleave_deterministically():
+    sim = Simulator()
+    log = []
+
+    def worker(name, period):
+        for _ in range(3):
+            yield sim.timeout(period)
+            log.append((sim.now, name))
+
+    sim.process(worker("a", 1.0))
+    sim.process(worker("b", 1.5))
+    sim.run()
+    # at t=3.0 b's timeout was scheduled first (at t=1.5, vs a's at t=2.0)
+    assert log == [(1.0, "a"), (1.5, "b"), (2.0, "a"), (3.0, "b"),
+                   (3.0, "a"), (4.5, "b")]

@@ -1,0 +1,87 @@
+"""Property-based tests of the engine's ordering and resource invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Resource, Simulator
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6,
+                                 allow_nan=False, allow_infinity=False),
+                       min_size=1, max_size=50))
+def test_events_always_fire_in_nondecreasing_time(delays):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.timeout(d).add_callback(lambda e, d=d: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0,
+                                 allow_nan=False), min_size=1, max_size=30))
+def test_clock_never_goes_backwards_in_processes(delays):
+    sim = Simulator()
+    stamps = []
+
+    def body():
+        for d in delays:
+            before = sim.now
+            yield sim.timeout(d)
+            assert sim.now >= before
+            stamps.append(sim.now)
+
+    sim.run(until=sim.process(body()))
+    assert stamps == sorted(stamps)
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    services=st.lists(st.floats(min_value=0.01, max_value=10.0,
+                                allow_nan=False), min_size=1, max_size=40),
+)
+@settings(max_examples=50)
+def test_resource_never_exceeds_capacity_and_serves_everyone(capacity, services):
+    sim = Simulator()
+    res = Resource(sim, capacity=capacity)
+    served = []
+
+    def job(idx, service):
+        with res.request() as req:
+            yield req
+            assert res.count <= capacity
+            yield sim.timeout(service)
+        served.append(idx)
+
+    for i, s in enumerate(services):
+        sim.process(job(i, s))
+    sim.run()
+    assert sorted(served) == list(range(len(services)))
+    assert res.count == 0 and res.queued == 0
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=4),
+    n_jobs=st.integers(min_value=1, max_value=30),
+    service=st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+)
+@settings(max_examples=50)
+def test_equal_jobs_finish_in_fifo_batches(capacity, n_jobs, service):
+    """With identical service times the FIFO closed form used by the macro
+    cluster model (job i finishes at (i//c + 1)*s) must hold exactly."""
+    sim = Simulator()
+    res = Resource(sim, capacity=capacity)
+    finishes = {}
+
+    def job(idx):
+        with res.request() as req:
+            yield req
+            yield sim.timeout(service)
+        finishes[idx] = sim.now
+
+    for i in range(n_jobs):
+        sim.process(job(i))
+    sim.run()
+    for i in range(n_jobs):
+        assert abs(finishes[i] - (i // capacity + 1) * service) < 1e-9

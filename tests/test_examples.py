@@ -1,0 +1,56 @@
+"""Smoke tests: every shipped example runs to completion and prints its
+headline content (guards against example rot)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout)
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.slow
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "Linux" in out and "McKernel+HFI1" in out
+    assert "GB/s" in out
+
+
+@pytest.mark.slow
+def test_driver_porting():
+    out = run_example("driver_porting.py")
+    assert "char whole_struct[64];" in out          # Listing 1
+    assert "silent corruption" in out
+    assert "LayoutError" in out and "DriverError" in out
+    assert "S99_RUNNING" in out
+
+
+@pytest.mark.slow
+def test_umt_collapse():
+    out = run_example("umt_collapse.py")
+    assert "weak scaling" in out
+    assert "MPI_Wait" in out
+    assert "Figure 8" in out
+
+
+@pytest.mark.slow
+def test_custom_app():
+    out = run_example("custom_app.py")
+    assert "micro (detailed DES" in out
+    assert "macro (cluster model)" in out
+
+
+@pytest.mark.slow
+def test_infiniband_memreg():
+    out = run_example("infiniband_memreg.py")
+    assert "ibv_reg_mr()" in out
+    assert "MTT" in out
