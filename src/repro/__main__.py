@@ -5,6 +5,8 @@
     python -m repro table1
     python -m repro sloc
     python -m repro all
+    python -m repro lint          # PicoDriver protocol lint (PD001...)
+    python -m repro sanitize fig4 # re-run with the KSan race detector
 """
 
 from __future__ import annotations
@@ -105,11 +107,18 @@ def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
-        print("commands:", ", ".join([*COMMANDS, "all"]))
+        print("commands:", ", ".join([*COMMANDS, "all", "dwarf", "lint",
+                                      "sanitize"]))
         return 0
     name = argv[0]
     if name == "dwarf":
         return _dwarf_extract(argv[1:])
+    if name == "lint":
+        from .analysis.cli import cmd_lint
+        return cmd_lint(argv[1:])
+    if name == "sanitize":
+        from .analysis.cli import cmd_sanitize
+        return cmd_sanitize(argv[1:], COMMANDS)
     if name == "all":
         for key, fn in COMMANDS.items():
             if key == "report":

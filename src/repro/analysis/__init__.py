@@ -1,0 +1,29 @@
+"""Analysis & sanitizers: tooling that keeps the model honest.
+
+Two cooperating layers guard the paper's central hazard — two kernels
+concurrently mutating the same Linux driver state (section 3.3):
+
+* :mod:`repro.analysis.ksan` — "KSan", a dynamic Eraser-style lockset
+  race detector.  When enabled (``repro.config.ANALYSIS.race_detection``
+  or ``python -m repro sanitize``) every :class:`~repro.hw.memory.SharedHeap`
+  access is reported with its kernel, struct/field label and the set of
+  :class:`~repro.core.sync.CrossKernelSpinLock` s held; any word written
+  by both kernels whose candidate lockset goes empty is reported with
+  full provenance (both access sites, sim time, lock holder history).
+
+* :mod:`repro.analysis.lint` — a static AST lint pass
+  (``python -m repro lint``, stdlib ``ast`` only) enforcing the
+  PicoDriver protocol: fast-path purity, lock discipline, sim-process
+  hygiene, layout-version guards and raw-heap-access confinement
+  (rules PD001...PD006, per-line ``# pd-ignore`` suppression).
+"""
+
+from .ksan import (ACTIVE_DETECTORS, HeapAccess, RaceDetector, RaceReport,
+                   active_race_reports, reset_active_detectors)
+from .lint import Finding, RULES, lint_paths, lint_source
+
+__all__ = [
+    "ACTIVE_DETECTORS", "Finding", "HeapAccess", "RULES", "RaceDetector",
+    "RaceReport", "active_race_reports", "lint_paths", "lint_source",
+    "reset_active_detectors",
+]

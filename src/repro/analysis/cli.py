@@ -1,0 +1,81 @@
+"""Command-line drivers for the analysis layer.
+
+``python -m repro lint [--rules] [paths...]``
+    Run the PicoDriver protocol lint (default target: the installed
+    ``repro`` package source).  Exit status 1 if findings remain.
+
+``python -m repro sanitize <experiment> [<experiment>...]``
+    Re-run one or more of the paper's experiments with the KSan race
+    detector installed on every node's shared kernel heap, then print
+    each detector's verdict.  Exit status 1 if any race was found.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .. import config
+from . import ksan
+from .lint import default_lint_root, lint_paths, rules_table
+
+
+def cmd_lint(argv: List[str]) -> int:
+    """Entry point for ``python -m repro lint``."""
+    if "--rules" in argv:
+        print(rules_table())
+        return 0
+    unknown = [a for a in argv if a.startswith("-") and a != "--rules"]
+    if unknown:
+        print(f"unknown option(s) {', '.join(unknown)}\n"
+              "usage: python -m repro lint [--rules] [paths...]")
+        return 2
+    paths = [a for a in argv if not a.startswith("-")] or [default_lint_root()]
+    findings = lint_paths(paths)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"{len(findings)} finding(s)")
+        return 1
+    print("pd-lint: clean")
+    return 0
+
+
+def cmd_sanitize(argv: List[str],
+                 commands: Dict[str, Callable[[], str]]) -> int:
+    """Entry point for ``python -m repro sanitize``.
+
+    ``commands`` is the experiment table of :mod:`repro.__main__`; each
+    named experiment is re-run with ``ANALYSIS.race_detection`` enabled
+    so every machine built along the way installs a
+    :class:`~repro.analysis.ksan.RaceDetector` on its kernel heaps.
+    """
+    if not argv:
+        print("usage: python -m repro sanitize <experiment> [...]\n"
+              f"experiments: {', '.join(commands)}")
+        return 2
+    unknown = [name for name in argv if name not in commands]
+    if unknown:
+        print(f"unknown experiment(s) {', '.join(unknown)}; choose from "
+              f"{', '.join(commands)}")
+        return 2
+    ksan.reset_active_detectors()
+    previous = config.ANALYSIS.race_detection
+    config.ANALYSIS.race_detection = True
+    try:
+        for name in argv:
+            print(f"== sanitizing {name} ==")
+            print(commands[name]())
+    finally:
+        config.ANALYSIS.race_detection = previous
+    print("\n== KSan verdict ==")
+    for detector in ksan.ACTIVE_DETECTORS:
+        print(detector.summary())
+    reports = ksan.active_race_reports()
+    for report in reports:
+        print()
+        print(report.render())
+    if reports:
+        print(f"\nKSan: {len(reports)} cross-kernel race(s) detected")
+        return 1
+    print("KSan: no cross-kernel races detected")
+    return 0

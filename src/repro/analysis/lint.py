@@ -1,0 +1,393 @@
+"""PicoDriver protocol lint: static AST checks for the porting rules.
+
+The paper's porting methodology (sections 3.1-3.4) is a *protocol*:
+fast paths must stay pure (no offloading machinery reachable from them),
+shared locks must be released on every path, simulation processes must
+actually be generators, DWARF layouts must be version-checked before
+use, and raw shared-heap word access is confined to the blessed accessor
+modules.  Amani et al. ("Automatic Verification of Message-Based Device
+Drivers") show this class of driver-protocol property is statically
+checkable; this module checks it for our model with nothing but the
+stdlib ``ast``.
+
+Rules (each finding carries a fix-it hint):
+
+=======  ==============================================================
+PD001    fast-path purity: no offload/IKC/syscall-dispatch call is
+         reachable from a ``fast_*`` method of a PicoDriver class
+PD002    lock discipline: every ``yield from X.acquire(...)`` has a
+         matching ``X.release(...)`` inside a ``finally`` block
+PD003    sim-process hygiene: ``fast_*`` methods must be generators,
+         and generator methods must not be bare-called (their process
+         would be silently discarded)
+PD004    layout-version guard: a PicoDriver class constructing a
+         ``StructView`` must call ``require_layout_version``
+PD005    raw heap access: no ``heap.read_u``/``write_u``/``read``/
+         ``write`` in ``repro/core`` outside ``structs.py``/``sync.py``
+PD006    pinned-memory discipline: no ``get_user_pages`` reachable from
+         a fast path (LWK memory is pinned by construction, sec. 3.4)
+=======  ==============================================================
+
+Per-line suppression: append ``# pd-ignore`` (all rules) or
+``# pd-ignore[PD001, PD004]`` (specific rules) to the offending line.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+#: rule code -> (title, fix-it hint)
+RULES: Dict[str, Tuple[str, str]] = {
+    "PD000": ("parse failure",
+              "fix the Python syntax; no protocol rule can run on an "
+              "unparseable module"),
+    "PD001": ("fast-path purity",
+              "run the call on the slow path, or offload the whole "
+              "syscall by returning FastPathDecision.offload()"),
+    "PD002": ("lock discipline",
+              "wrap the critical section in try/finally and release the "
+              "lock in the finally block"),
+    "PD003": ("sim-process hygiene",
+              "drive the generator with 'yield from', or hand it to "
+              "sim.process(...)"),
+    "PD004": ("layout-version guard",
+              "call self.require_layout_version(layout, module_version) "
+              "in attach() before building StructViews"),
+    "PD005": ("raw heap access",
+              "go through StructInstance/StructView (repro.core.structs) "
+              "or CrossKernelSpinLock instead of raw heap words"),
+    "PD006": ("pinned-memory discipline",
+              "fast paths walk pinned LWK page tables "
+              "(task.pagetable.phys_spans); get_user_pages belongs to "
+              "the Linux slow path"),
+}
+
+#: call names that mark the offloading / syscall-dispatch machinery
+_OFFLOAD_NAMES = frozenset({"_offload", "offload", "offload_syscall",
+                            "dispatch_syscall", "syscall"})
+
+#: modules in repro/core allowed to touch raw heap words
+_RAW_HEAP_ALLOWED = frozenset({"structs.py", "sync.py"})
+
+_IGNORE_RE = re.compile(r"#\s*pd-ignore(?:\[([A-Za-z0-9_,\s]*)\])?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    @property
+    def hint(self) -> str:
+        """The rule's fix-it hint."""
+        return RULES[self.code][1]
+
+    def render(self) -> str:
+        """``path:line:col: CODE message (fix: hint)``."""
+        return (f"{self.path}:{self.line}:{self.col}: {self.code} "
+                f"{self.message} (fix: {self.hint})")
+
+
+def rules_table() -> str:
+    """The rule table shown by ``python -m repro lint --rules``."""
+    lines = ["code   rule                        fix",
+             "-----  --------------------------  " + "-" * 40]
+    for code, (title, hint) in sorted(RULES.items()):
+        lines.append(f"{code}  {title:26s}  {hint}")
+    return "\n".join(lines)
+
+
+# --- AST helpers -------------------------------------------------------------
+
+def _dotted(node: ast.AST) -> str:
+    """Dotted path of a call target, e.g. ``self.lwk.ikc.call``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    else:
+        parts.append("<expr>")
+    return ".".join(reversed(parts))
+
+
+def _walk_shallow(root: ast.AST) -> Iterable[ast.AST]:
+    """Walk ``root`` without descending into nested function/class defs."""
+    stack = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_generator(fn: ast.FunctionDef) -> bool:
+    """True if the function body itself contains ``yield``/``yield from``."""
+    return any(isinstance(n, (ast.Yield, ast.YieldFrom))
+               for n in _walk_shallow(fn))
+
+
+def _self_calls(fn: ast.FunctionDef) -> Set[str]:
+    """Names of same-instance methods called as ``self.<m>(...)``."""
+    out: Set[str] = set()
+    for node in _walk_shallow(fn):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "self"):
+            out.add(node.func.attr)
+    return out
+
+
+class _ClassInfo:
+    """A class definition digested for the PicoDriver rules."""
+
+    def __init__(self, node: ast.ClassDef):
+        self.node = node
+        self.methods: Dict[str, ast.FunctionDef] = {
+            item.name: item for item in node.body
+            if isinstance(item, ast.FunctionDef)}
+        self.fast_methods = [m for m in self.methods if m.startswith("fast_")]
+        base_names = [_dotted(b).rsplit(".", 1)[-1] for b in node.bases]
+        self.pico_like = (any("PicoDriver" in b for b in base_names)
+                          or bool(self.fast_methods))
+
+    def reachable_from_fast(self) -> Set[str]:
+        """Method names reachable from any ``fast_*`` via self-calls."""
+        seen: Set[str] = set()
+        frontier = list(self.fast_methods)
+        while frontier:
+            name = frontier.pop()
+            if name in seen or name not in self.methods:
+                continue
+            seen.add(name)
+            frontier.extend(self._self_call_cache(name))
+        return seen
+
+    def _self_call_cache(self, name: str) -> Set[str]:
+        return _self_calls(self.methods[name])
+
+
+# --- rule passes -------------------------------------------------------------
+
+def _check_fast_path_calls(path: str, cls: _ClassInfo,
+                           findings: List[Finding]) -> None:
+    """PD001 + PD006: scan calls in methods reachable from fast paths."""
+    for mname in sorted(cls.reachable_from_fast()):
+        fn = cls.methods[mname]
+        for node in _walk_shallow(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            segments = dotted.split(".")
+            where = (f"in {cls.node.name}.{mname} (reachable from "
+                     f"{', '.join(sorted(cls.fast_methods))})")
+            if segments[-1] in _OFFLOAD_NAMES or "ikc" in segments[:-1]:
+                findings.append(Finding(
+                    path, node.lineno, node.col_offset, "PD001",
+                    f"fast path calls offload/IKC machinery "
+                    f"'{dotted}' {where}"))
+            if segments[-1] == "get_user_pages":
+                findings.append(Finding(
+                    path, node.lineno, node.col_offset, "PD006",
+                    f"fast path takes page references via '{dotted}' "
+                    f"{where}"))
+
+
+def _release_sites(fn: ast.FunctionDef,
+                   receiver: str) -> Tuple[bool, bool]:
+    """(any release of receiver, any release inside a finally block)."""
+    any_release = in_finally = False
+
+    def matches(node: ast.AST) -> bool:
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "release"
+                and _dotted(node.func.value) == receiver)
+
+    for node in _walk_shallow(fn):
+        if matches(node):
+            any_release = True
+        if isinstance(node, ast.Try):
+            for stmt in node.finalbody:
+                for sub in ast.walk(stmt):
+                    if matches(sub):
+                        in_finally = True
+    return any_release, in_finally
+
+
+def _check_lock_discipline(path: str, tree: ast.AST,
+                           findings: List[Finding]) -> None:
+    """PD002: every ``yield from X.acquire(...)`` pairs with a
+    ``X.release(...)`` in a ``finally``."""
+    for fn in ast.walk(tree):
+        if not isinstance(fn, ast.FunctionDef):
+            continue
+        for node in _walk_shallow(fn):
+            if not (isinstance(node, ast.YieldFrom)
+                    and isinstance(node.value, ast.Call)
+                    and isinstance(node.value.func, ast.Attribute)
+                    and node.value.func.attr == "acquire"):
+                continue
+            receiver = _dotted(node.value.func.value)
+            any_release, in_finally = _release_sites(fn, receiver)
+            if not any_release:
+                findings.append(Finding(
+                    path, node.lineno, node.col_offset, "PD002",
+                    f"'{receiver}.acquire' in {fn.name} has no matching "
+                    f"'{receiver}.release'"))
+            elif not in_finally:
+                findings.append(Finding(
+                    path, node.lineno, node.col_offset, "PD002",
+                    f"'{receiver}.release' in {fn.name} is not in a "
+                    f"finally block; an exception leaks the lock"))
+
+
+def _check_process_hygiene(path: str, cls: _ClassInfo,
+                           findings: List[Finding]) -> None:
+    """PD003: fast_* methods are generators; no bare generator calls."""
+    generators = {name for name, fn in cls.methods.items()
+                  if _is_generator(fn)}
+    for name in sorted(cls.fast_methods):
+        fn = cls.methods[name]
+        if name not in generators:
+            findings.append(Finding(
+                path, fn.lineno, fn.col_offset, "PD003",
+                f"fast-path method {cls.node.name}.{name} is not a "
+                f"generator; it cannot run as a simulation process"))
+    for mname, fn in sorted(cls.methods.items()):
+        for node in _walk_shallow(fn):
+            if not (isinstance(node, ast.Expr)
+                    and isinstance(node.value, ast.Call)
+                    and isinstance(node.value.func, ast.Attribute)
+                    and isinstance(node.value.func.value, ast.Name)
+                    and node.value.func.value.id == "self"):
+                continue
+            callee = node.value.func.attr
+            if callee in generators:
+                findings.append(Finding(
+                    path, node.lineno, node.col_offset, "PD003",
+                    f"bare call to generator method 'self.{callee}' in "
+                    f"{cls.node.name}.{mname}; the process is created "
+                    f"and silently discarded"))
+
+
+def _check_layout_guard(path: str, cls: _ClassInfo,
+                        findings: List[Finding]) -> None:
+    """PD004: StructView construction requires require_layout_version."""
+    if not cls.pico_like:
+        return
+    builds: List[ast.Call] = []
+    guarded = False
+    for fn in cls.methods.values():
+        for node in _walk_shallow(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            last = _dotted(node.func).rsplit(".", 1)[-1]
+            if last == "StructView":
+                builds.append(node)
+            if last == "require_layout_version":
+                guarded = True
+    if guarded:
+        return
+    for node in builds:
+        findings.append(Finding(
+            path, node.lineno, node.col_offset, "PD004",
+            f"{cls.node.name} builds a StructView but never calls "
+            f"require_layout_version; a stale DWARF layout would "
+            f"silently read wrong bytes"))
+
+
+def _check_raw_heap(path: str, tree: ast.AST,
+                    findings: List[Finding]) -> None:
+    """PD005: raw heap word access confined to structs.py/sync.py."""
+    parts = os.path.normpath(path).split(os.sep)
+    if "core" not in parts or os.path.basename(path) in _RAW_HEAP_ALLOWED:
+        return
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("read", "write", "read_u", "write_u")):
+            continue
+        receiver = _dotted(node.func.value)
+        if "heap" in receiver.rsplit(".", 1)[-1].lower():
+            findings.append(Finding(
+                path, node.lineno, node.col_offset, "PD005",
+                f"raw shared-heap access '{receiver}.{node.func.attr}' "
+                f"outside structs.py/sync.py"))
+
+
+# --- driver ------------------------------------------------------------------
+
+def lint_source(source: str, path: str = "<string>") -> List[Finding]:
+    """Lint one module's source text; returns unsuppressed findings."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(path, exc.lineno or 1, (exc.offset or 1) - 1,
+                        "PD000", f"syntax error: {exc.msg}")]
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            cls = _ClassInfo(node)
+            _check_process_hygiene(path, cls, findings)
+            _check_layout_guard(path, cls, findings)
+            if cls.pico_like:
+                _check_fast_path_calls(path, cls, findings)
+    _check_lock_discipline(path, tree, findings)
+    _check_raw_heap(path, tree, findings)
+    lines = source.splitlines()
+    kept = [f for f in findings if not _suppressed(lines, f)]
+    return sorted(kept, key=lambda f: (f.path, f.line, f.col, f.code))
+
+
+def _suppressed(lines: Sequence[str], finding: Finding) -> bool:
+    """True if the finding's line carries a matching ``# pd-ignore``."""
+    if not (1 <= finding.line <= len(lines)):
+        return False
+    match = _IGNORE_RE.search(lines[finding.line - 1])
+    if match is None:
+        return False
+    codes = match.group(1)
+    if codes is None:
+        return True
+    return finding.code in {c.strip() for c in codes.split(",") if c.strip()}
+
+
+def iter_python_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, _dirnames, filenames in os.walk(path):
+                out.extend(os.path.join(dirpath, f) for f in filenames
+                           if f.endswith(".py"))
+        else:
+            out.append(path)
+    return sorted(out)
+
+
+def lint_paths(paths: Iterable[str]) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths``."""
+    findings: List[Finding] = []
+    for filename in iter_python_files(paths):
+        with open(filename, encoding="utf-8") as handle:
+            findings.extend(lint_source(handle.read(), filename))
+    return findings
+
+
+def default_lint_root() -> str:
+    """The ``src/repro`` tree this installation runs from."""
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))

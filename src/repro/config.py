@@ -1,8 +1,34 @@
-"""The three operating-system configurations the paper evaluates."""
+"""The three operating-system configurations the paper evaluates, plus
+process-wide toggles for the opt-in analysis layer."""
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from enum import Enum
+
+
+@dataclass
+class AnalysisConfig:
+    """Opt-in dynamic-analysis toggles (see :mod:`repro.analysis`).
+
+    ``race_detection`` makes every machine built by
+    :class:`repro.experiments.common.Machine` install a KSan
+    :class:`~repro.analysis.ksan.RaceDetector` on each node's shared
+    kernel heap.  Off by default: the hooks cost a branch per heap
+    access and the experiments' numbers must not depend on them.
+    """
+
+    race_detection: bool = False
+
+
+#: the process-wide analysis configuration (mutated by
+#: ``python -m repro sanitize`` and tests)
+ANALYSIS = AnalysisConfig()
+
+
+def enable_race_detection(enabled: bool = True) -> None:
+    """Toggle KSan installation for machines built after this call."""
+    ANALYSIS.race_detection = enabled
 
 
 class OSConfig(Enum):

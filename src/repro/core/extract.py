@@ -21,9 +21,15 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import DwarfError, ReproError
-from ..hw.memory import SharedHeap
 from . import dwarf as D
 from .dwarf import DwarfDie, DwarfInfo, ModuleBinary
+# StructView historically lived here; it is a blessed heap accessor now
+# hosted with its sibling StructInstance (lint rule PD005), re-exported
+# for compatibility.
+from .structs import StructView
+
+__all__ = ["ExtractedField", "ExtractedLayout", "StructView",
+           "dwarf_extract_struct", "generate_header"]
 
 
 @dataclass(frozen=True)
@@ -140,38 +146,3 @@ def generate_header(layout: ExtractedLayout) -> str:
     return "\n".join(lines)
 
 
-class StructView:
-    """LWK-side access to a Linux structure through an extracted layout.
-
-    Reads and writes go to the same byte-backed heap the Linux driver
-    uses — if the layout is stale (built from a different driver version)
-    the view silently reads the wrong bytes, which is precisely the
-    failure mode the DWARF workflow exists to prevent.
-    """
-
-    def __init__(self, layout: ExtractedLayout, heap: SharedHeap, addr: int):
-        self.layout = layout
-        self.heap = heap
-        self.addr = addr
-
-    def get(self, field: str, index: int = 0) -> int:
-        """Read a field (array ``index`` optional) from heap memory."""
-        f = self.layout.field(field)
-        self._check_index(f, index)
-        return self.heap.read_u(self.addr + f.offset + index * f.elem_size,
-                                f.elem_size)
-
-    def set(self, field: str, value: int, index: int = 0) -> None:
-        """Write a field (array ``index`` optional) to heap memory."""
-        f = self.layout.field(field)
-        self._check_index(f, index)
-        if value < 0:
-            value += 1 << (8 * f.elem_size)
-        self.heap.write_u(self.addr + f.offset + index * f.elem_size,
-                          f.elem_size, value)
-
-    @staticmethod
-    def _check_index(f: ExtractedField, index: int) -> None:
-        if not (0 <= index < f.count):
-            raise ReproError(f"index {index} out of bounds for "
-                             f"{f.name}[{f.count}]")

@@ -110,9 +110,14 @@ class HFIPicoDriver(PicoDriver):
 
     # -- views over Linux driver state -------------------------------------------
 
-    def _view(self, struct: str, addr: int) -> StructView:
+    def _view(self, struct: str, addr: int,
+              kernel: str = "mckernel") -> StructView:
+        """A DWARF-layout view of Linux driver state; ``kernel`` is the
+        context *performing* the accesses (the completion callback runs
+        on a Linux CPU)."""
         self.lwk.aspace.check_access(addr, f"Linux {struct}")
-        return StructView(self.layouts[struct], self.heap, addr)
+        return StructView(self.layouts[struct], self.heap, addr,
+                          kernel=kernel)
 
     def _file_views(self, task, fd: int):
         path, file = self.lwk.device_file(task, fd)
@@ -159,7 +164,9 @@ class HFIPicoDriver(PicoDriver):
                           + len(spans) * sc.ptwalk_per_span
                           + len(descs) * sc.desc_build
                           + alloc_cost)
-        pq.set("n_reqs", pq.get("n_reqs") + 1)
+        # atomic_t-style ring refcount: the Linux-side completion IRQ
+        # decrements this concurrently, so a plain read-modify-write races
+        pq.add("n_reqs", 1)
 
         packet = Packet(kind=meta.get("kind", "eager"),
                         src_node=self.hfi.node_id,
@@ -194,8 +201,8 @@ class HFIPicoDriver(PicoDriver):
         ctx = group.user_ctx or {}
         pq_addr = ctx.get("pq_addr")
         if pq_addr is not None:
-            pq = self._view("user_sdma_pkt_q", pq_addr)
-            pq.set("n_reqs", pq.get("n_reqs") - 1)
+            pq = self._view("user_sdma_pkt_q", pq_addr, kernel="linux")
+            pq.add("n_reqs", -1)
         completion = ctx.get("completion")
         if completion is not None:
             completion.succeed(group)

@@ -21,11 +21,12 @@ from typing import Dict
 
 from ..errors import DriverError
 from ..linux.mlx import verbs
-from ..linux.mlx.driver import (DEREG_MR_BASE, MTT_PROGRAM_COST,
-                                MemoryRegion, MlxDriver)
+from ..linux.mlx.driver import (MTT_PROGRAM_COST, MemoryRegion,
+                                MlxDriver)
 from ..units import USEC
-from .extract import ExtractedLayout, StructView, dwarf_extract_struct
+from .extract import ExtractedLayout, dwarf_extract_struct
 from .picodriver import FastPathDecision, PicoDriver
+from .structs import StructInstance, StructView
 
 #: fast-path fixed costs (no gup, no key-table locking contention)
 REG_MR_BASE_PICO = 0.55 * USEC
@@ -94,9 +95,8 @@ class MlxMemRegPicoDriver(PicoDriver):
         spans = task.pagetable.phys_spans(vaddr, length)
         # one MTT entry per contiguous span — the whole point of the port
         entries = len(spans)
-        dev = self._dev_view()
+        self._dev_view()  # faults here if the address space is not unified
         self.linux_driver.take_mtt(entries)
-        from ..core.structs import StructInstance
         mr = StructInstance(self.linux_driver._defs["mlx5_ib_mr"], self.heap)
         lkey = self.linux_driver.alloc_key()
         mr.set("lkey", lkey)

@@ -62,7 +62,8 @@ class PicoDriver:
         """Called when registered with an LWK; perform layout extraction
         checks and driver-state mapping here."""
 
-    def fast_call(self, task, syscall: str, args: tuple):
+    # the framework dispatcher *returns* the handler's generator
+    def fast_call(self, task, syscall: str, args: tuple):  # pd-ignore[PD003]
         """Dispatch to the ``fast_<syscall>`` generator."""
         handler = getattr(self, f"fast_{syscall}", None)
         if handler is None:

@@ -1,4 +1,4 @@
-"""C structure layout modeling.
+"""C structure layout modeling and the blessed heap accessors.
 
 The simulated Linux HFI1 driver keeps its state in :class:`CStructDef`-shaped
 objects stored in the node's byte-backed kernel heap.  Offsets follow the
@@ -6,6 +6,16 @@ System V x86_64 ABI (natural alignment, trailing padding to the largest
 member alignment), so layouts shift realistically when a driver update adds,
 removes or reorders fields — exactly the drift that makes hand-copied
 headers fragile (paper section 3.2).
+
+This module (together with :mod:`repro.core.sync`) is the only place in
+``repro.core`` allowed to touch raw :class:`~repro.hw.memory.SharedHeap`
+words (lint rule PD005): :class:`StructInstance` is the owning driver's
+view of a structure, :class:`StructView` is the LWK's DWARF-derived view
+of the same bytes.  Both carry the accessing kernel and annotate every
+access for the KSan race detector (:mod:`repro.analysis.ksan`), and both
+offer :meth:`StructInstance.add`, an atomic read-modify-write modeling
+the ``LOCK XADD`` behind Linux ``atomic_t`` counters — which is how the
+driver's cross-kernel reference counts stay race-free without a lock.
 """
 
 from __future__ import annotations
@@ -122,34 +132,65 @@ class CStructDef:
         return f"<CStructDef {self.name} size={self.size}>"
 
 
+def _annotate(heap: SharedHeap, kernel: str, label: str,
+              atomic: bool = False) -> None:
+    """Declare the next heap access to an installed KSan monitor."""
+    monitor = heap.monitor
+    if monitor is not None:
+        monitor.annotate(kernel, label, atomic)
+
+
 class StructInstance:
     """A live structure in kernel heap memory, accessed through its *own*
-    definition — this is the Linux driver's (always correct) view."""
+    definition — this is the Linux driver's (always correct) view.
+
+    ``kernel`` names the kernel this view belongs to for the race
+    detector; the owning Linux driver is the default.
+    """
 
     def __init__(self, defn: CStructDef, heap: SharedHeap,
-                 addr: Optional[int] = None):
+                 addr: Optional[int] = None, kernel: str = "linux"):
         self.defn = defn
         self.heap = heap
+        self.kernel = kernel
         self.addr = heap.kmalloc(defn.size) if addr is None else addr
 
-    def get(self, field: str, index: int = 0) -> int:
-        """Read a field (array ``index`` optional)."""
+    def _loc(self, field: str, index: int):
         f = self.defn.field(field)
         self._check_index(f, index)
         off = self.defn.offset_of(field) + index * f.elem.size
-        raw = self.heap.read_u(self.addr + off, f.elem.size)
+        return f, self.addr + off
+
+    def get(self, field: str, index: int = 0) -> int:
+        """Read a field (array ``index`` optional)."""
+        f, addr = self._loc(field, index)
+        _annotate(self.heap, self.kernel, f"{self.defn.name}.{field}")
+        raw = self.heap.read_u(addr, f.elem.size)
         if f.elem.signed and raw >= 1 << (8 * f.elem.size - 1):
             raw -= 1 << (8 * f.elem.size)
         return raw
 
     def set(self, field: str, value: int, index: int = 0) -> None:
         """Write a field (array ``index`` optional)."""
-        f = self.defn.field(field)
-        self._check_index(f, index)
-        off = self.defn.offset_of(field) + index * f.elem.size
+        f, addr = self._loc(field, index)
         if value < 0:
             value += 1 << (8 * f.elem.size)
-        self.heap.write_u(self.addr + off, f.elem.size, value)
+        _annotate(self.heap, self.kernel, f"{self.defn.name}.{field}")
+        self.heap.write_u(addr, f.elem.size, value)
+
+    def add(self, field: str, delta: int, index: int = 0) -> int:
+        """Atomic read-modify-write (``LOCK XADD``): add ``delta`` to the
+        field and return the new value.  Atomic accesses are race-free
+        against any other access in the KSan model — use for the
+        driver's ``atomic_t``-style counters."""
+        f, addr = self._loc(field, index)
+        label = f"{self.defn.name}.{field}"
+        _annotate(self.heap, self.kernel, label, atomic=True)
+        raw = self.heap.read_u(addr, f.elem.size)
+        raw = (raw + delta) % (1 << (8 * f.elem.size))
+        _annotate(self.heap, self.kernel, label, atomic=True)
+        self.heap.write_u(addr, f.elem.size, raw)
+        return raw
 
     def free(self) -> None:
         """Release the backing heap allocation."""
@@ -160,3 +201,64 @@ class StructInstance:
         if not (0 <= index < f.count):
             raise ReproError(
                 f"index {index} out of bounds for {f.name}[{f.count}]")
+
+
+class StructView:
+    """LWK-side access to a Linux structure through an extracted layout
+    (see :mod:`repro.core.extract` for the extraction workflow).
+
+    Reads and writes go to the same byte-backed heap the Linux driver
+    uses — if the layout is stale (built from a different driver version)
+    the view silently reads the wrong bytes, which is precisely the
+    failure mode the DWARF workflow exists to prevent.
+
+    ``kernel`` names the kernel *performing* the accesses for the race
+    detector; the McKernel fast path is the default, but a completion
+    callback running on a Linux CPU should pass ``"linux"``.
+    """
+
+    def __init__(self, layout, heap: SharedHeap, addr: int,
+                 kernel: str = "mckernel"):
+        self.layout = layout
+        self.heap = heap
+        self.addr = addr
+        self.kernel = kernel
+
+    def _loc(self, field: str, index: int):
+        f = self.layout.field(field)
+        self._check_index(f, index)
+        return f, self.addr + f.offset + index * f.elem_size
+
+    def get(self, field: str, index: int = 0) -> int:
+        """Read a field (array ``index`` optional) from heap memory."""
+        f, addr = self._loc(field, index)
+        _annotate(self.heap, self.kernel,
+                  f"{self.layout.struct_name}.{field}")
+        return self.heap.read_u(addr, f.elem_size)
+
+    def set(self, field: str, value: int, index: int = 0) -> None:
+        """Write a field (array ``index`` optional) to heap memory."""
+        f, addr = self._loc(field, index)
+        if value < 0:
+            value += 1 << (8 * f.elem_size)
+        _annotate(self.heap, self.kernel,
+                  f"{self.layout.struct_name}.{field}")
+        self.heap.write_u(addr, f.elem_size, value)
+
+    def add(self, field: str, delta: int, index: int = 0) -> int:
+        """Atomic read-modify-write (``LOCK XADD``); see
+        :meth:`StructInstance.add`."""
+        f, addr = self._loc(field, index)
+        label = f"{self.layout.struct_name}.{field}"
+        _annotate(self.heap, self.kernel, label, atomic=True)
+        raw = self.heap.read_u(addr, f.elem_size)
+        raw = (raw + delta) % (1 << (8 * f.elem_size))
+        _annotate(self.heap, self.kernel, label, atomic=True)
+        self.heap.write_u(addr, f.elem_size, raw)
+        return raw
+
+    @staticmethod
+    def _check_index(f, index: int) -> None:
+        if not (0 <= index < f.count):
+            raise ReproError(f"index {index} out of bounds for "
+                             f"{f.name}[{f.count}]")

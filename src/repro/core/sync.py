@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..errors import DriverError, ReproError
+from ..errors import DriverError
 from ..hw.memory import SharedHeap
 from ..sim import Resource, Simulator, Tracer
 from .address_space import KernelAddressSpace
@@ -75,21 +75,39 @@ class CrossKernelSpinLock:
         spin = self.sim.now - t0
         if spin > 0:
             self.tracer.record(f"spin.{self.name}", spin)
+        # the lock word is manipulated with atomic instructions (cmpxchg)
+        monitor = self.heap.monitor
+        if monitor is not None:
+            monitor.annotate(kernel, f"lock:{self.name}", atomic=True)
         self.heap.write_u(self.word_addr, 4, 1)
         self._holder = kernel
         self._held_req = req
+        if monitor is not None:
+            monitor.on_lock_acquired(self.name, kernel)
         return req
 
     def release(self, kernel: str) -> None:
-        """Clear the lock word and wake the next FIFO waiter."""
+        """Clear the lock word and wake the next FIFO waiter.
+
+        Misuse — releasing an unheld lock (double release) or a lock
+        held by the *other* kernel — is a driver-protocol violation and
+        raises :class:`~repro.errors.DriverError`; on hardware it would
+        hand the critical section to a racing waiter.
+        """
         if self._holder is None:
-            raise ReproError(f"release of unheld lock {self.name}")
+            raise DriverError(
+                f"double release of {self.name}: lock is not held")
         if self._holder != kernel:
-            raise ReproError(
+            raise DriverError(
                 f"{kernel} releasing {self.name} held by {self._holder}")
+        monitor = self.heap.monitor
+        if monitor is not None:
+            monitor.annotate(kernel, f"lock:{self.name}", atomic=True)
         self.heap.write_u(self.word_addr, 4, 0)
         self._holder = None
         req, self._held_req = self._held_req, None
+        if monitor is not None:
+            monitor.on_lock_released(self.name, kernel)
         self._res.release(req)
 
     def held_by(self, kernel: str) -> bool:

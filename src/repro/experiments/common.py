@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from ..config import OSConfig
+from ..config import ANALYSIS, OSConfig
 from ..core.hfi_pico import HFIPicoDriver
 from ..errors import ReproError
 from ..hw.fabric import Fabric
@@ -55,12 +55,24 @@ class Machine:
         self.tracer = Tracer()
         self.rng = RngFactory(params.seed)
         self.fabric = Fabric(self.sim, params.nic)
+        #: KSan race detectors, one per node heap, when
+        #: ``repro.config.ANALYSIS.race_detection`` is on
+        self.sanitizers: List[object] = []
         self.nodes: List[MachineNode] = []
         for i in range(n_nodes):
             self.nodes.append(self._build_node(i, driver_version))
 
+    def race_reports(self):
+        """All cross-kernel races found by this machine's detectors."""
+        return [report for det in self.sanitizers for report in det.races]
+
     def _build_node(self, node_id: int, driver_version: str) -> MachineNode:
         node = Node(self.sim, self.params, node_id, tracer=self.tracer)
+        if ANALYSIS.race_detection:
+            from ..analysis.ksan import RaceDetector
+            detector = RaceDetector(self.sim, name=f"node{node_id}.kheap")
+            node.kheap.monitor = detector
+            self.sanitizers.append(detector)
         self.fabric.attach(node.hfi)
         linux = LinuxKernel(
             self.sim, self.params, node, self.rng,

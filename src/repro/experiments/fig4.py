@@ -16,7 +16,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from ..apps.imb import PingPong
 from ..config import ALL_CONFIGS, OSConfig
-from ..params import Params, default_params
+from ..params import Params
 from ..units import KiB, MiB, fmt_size
 from .common import build_machine
 

@@ -249,6 +249,10 @@ class SharedHeap:
         self._brk = 0
         self._live: Dict[int, int] = {}  # addr -> size
         self._free_by_size: Dict[int, List[int]] = {}
+        #: opt-in access monitor (:class:`repro.analysis.ksan.RaceDetector`);
+        #: when installed, every read/write is reported to it together with
+        #: the annotation the accessor layer declared
+        self.monitor = None
 
     @property
     def end(self) -> int:
@@ -294,12 +298,16 @@ class SharedHeap:
     def read(self, addr: int, size: int) -> bytes:
         """Read raw bytes at a kernel virtual address."""
         self._check(addr, size)
+        if self.monitor is not None:
+            self.monitor.on_access("read", addr, size, self)
         off = addr - self.base
         return bytes(self._mem[off: off + size])
 
     def write(self, addr: int, data: bytes) -> None:
         """Write raw bytes at a kernel virtual address."""
         self._check(addr, len(data))
+        if self.monitor is not None:
+            self.monitor.on_access("write", addr, len(data), self)
         off = addr - self.base
         self._mem[off: off + len(data)] = data
 

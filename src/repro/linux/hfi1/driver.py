@@ -180,7 +180,7 @@ class Hfi1Driver(FileOps):
         cost += mem.kmalloc_cost
         yield kernel.sim.timeout(cost)
 
-        state.pq.set("n_reqs", state.pq.get("n_reqs") + 1)
+        state.pq.add("n_reqs", 1)
         packet = Packet(kind=meta.get("kind", "eager"),
                         src_node=self.hfi.node_id,
                         dst_node=meta["dst_node"], dst_ctxt=meta["dst_ctxt"],
@@ -197,7 +197,7 @@ class Hfi1Driver(FileOps):
                 for addr in group.meta_addrs:
                     self.heap.kfree(addr)
                 yield kernel.sim.timeout(mem.kfree_cost * len(group.meta_addrs))
-                pq_struct.set("n_reqs", pq_struct.get("n_reqs") - 1)
+                pq_struct.add("n_reqs", -1)
                 if completion is not None:
                     completion.succeed(group)
             return cleanup()

@@ -10,8 +10,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
 from ..errors import BadSyscall
 from ..hw.node import Node
 from ..kernels.base import KernelBase, Task

@@ -1,0 +1,85 @@
+"""Tests for ``python -m repro lint`` and ``python -m repro sanitize``."""
+
+import textwrap
+
+from repro.__main__ import main
+from repro.analysis.cli import cmd_sanitize
+from repro.config import ANALYSIS
+
+
+def test_help_lists_analysis_commands(capsys):
+    assert main([]) == 0
+    out = capsys.readouterr().out
+    assert "lint" in out and "sanitize" in out
+
+
+# --- lint --------------------------------------------------------------------
+
+def test_lint_shipped_tree_exits_zero(capsys):
+    assert main(["lint"]) == 0
+    assert "pd-lint: clean" in capsys.readouterr().out
+
+
+def test_lint_rules_flag_prints_table(capsys):
+    assert main(["lint", "--rules"]) == 0
+    out = capsys.readouterr().out
+    assert "PD001" in out and "PD006" in out
+
+
+def test_lint_unknown_option_exits_two(capsys):
+    assert main(["lint", "--rulez"]) == 2
+    assert "unknown option" in capsys.readouterr().out
+
+
+def test_lint_violation_fixture_exits_nonzero(tmp_path, capsys):
+    bad = tmp_path / "core" / "rogue.py"
+    bad.parent.mkdir()
+    bad.write_text(textwrap.dedent("""\
+        class RoguePico(PicoDriver):
+            def fast_poke(self, task, addr):
+                yield self.lwk._offload(task, "poke", (addr,))
+        """))
+    assert main(["lint", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "PD001" in out and "finding(s)" in out
+
+
+# --- sanitize ----------------------------------------------------------------
+
+def test_sanitize_usage_and_unknown_experiment(capsys):
+    assert main(["sanitize"]) == 2
+    assert "usage:" in capsys.readouterr().out
+    assert main(["sanitize", "nope"]) == 2
+    assert "unknown experiment" in capsys.readouterr().out
+
+
+def test_sanitize_shipped_experiment_is_clean(capsys):
+    assert main(["sanitize", "contention"]) == 0
+    out = capsys.readouterr().out
+    assert "== KSan verdict ==" in out
+    assert "KSan: no cross-kernel races detected" in out
+    assert "no races" in out
+    assert ANALYSIS.race_detection is False   # restored afterwards
+
+
+def _racy_experiment():
+    """A deliberately broken 'experiment': writes SDMA engine state from
+    McKernel without taking ``hfi1.sdma_submit``."""
+    from repro.config import OSConfig
+    from repro.core.structs import StructView
+    from repro.experiments import build_machine
+    machine = build_machine(1, OSConfig.MCKERNEL_HFI)
+    node = machine.nodes[0]
+    rogue = StructView(node.pico.layouts["sdma_state"], node.node.kheap,
+                       node.driver.engine_states[0].addr)
+    rogue.set("current_state", 0)
+    return "rogue write issued"
+
+
+def test_sanitize_reports_seeded_race(capsys):
+    assert cmd_sanitize(["racy"], {"racy": _racy_experiment}) == 1
+    out = capsys.readouterr().out
+    assert "race on sdma_state.current_state" in out
+    assert "lockset intersection is empty" in out
+    assert "1 cross-kernel race(s) detected" in out
+    assert ANALYSIS.race_detection is False   # restored even on findings

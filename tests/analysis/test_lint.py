@@ -1,0 +1,297 @@
+"""Tests for the PicoDriver protocol lint (PD001-PD006).
+
+Each rule gets a violation fixture and a compliant twin; the suite also
+pins the suppression syntax and — the acceptance bar — that the shipped
+``src/repro`` tree lints clean.
+"""
+
+import textwrap
+
+from repro.analysis.lint import (RULES, Finding, default_lint_root,
+                                 iter_python_files, lint_paths, lint_source,
+                                 rules_table)
+
+
+def lint(src, path="src/repro/mckernel/x.py"):
+    """Lint a dedented fixture; default path is outside repro/core so
+    PD005 stays quiet unless a test opts in."""
+    return lint_source(textwrap.dedent(src), path)
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+# --- PD001 fast-path purity --------------------------------------------------
+
+def test_pd001_offload_reachable_from_fast_path():
+    findings = lint("""\
+        class BadPico(PicoDriver):
+            def fast_writev(self, task, fd):
+                yield from self._send(task)
+
+            def _send(self, task):
+                yield from self.lwk._offload(task, "writev", ())
+        """)
+    assert codes(findings) == ["PD001"]
+    assert "_offload" in findings[0].message
+    assert "reachable from fast_writev" in findings[0].message
+
+
+def test_pd001_ikc_call_in_fast_path():
+    findings = lint("""\
+        class BadPico(PicoDriver):
+            def fast_ioctl(self, task, fd, cmd, arg):
+                yield from self.lwk.ikc.call(task, cmd)
+        """)
+    assert codes(findings) == ["PD001"]
+
+
+def test_pd001_clean_when_offload_is_on_the_slow_path():
+    findings = lint("""\
+        class GoodPico(PicoDriver):
+            def claims(self, syscall, args):
+                return FastPathDecision.offload("administrative")
+
+            def slow_ioctl(self, task, cmd):
+                yield from self.lwk._offload(task, "ioctl", (cmd,))
+
+            def fast_writev(self, task, fd):
+                yield self.lwk.sim.timeout(1.0)
+        """)
+    assert findings == []
+
+
+# --- PD002 lock discipline ---------------------------------------------------
+
+def test_pd002_acquire_without_release():
+    findings = lint("""\
+        def submit(self, group):
+            yield from self.lock.acquire("mckernel", self.aspace)
+            yield from self.engine.submit(group)
+        """)
+    assert codes(findings) == ["PD002"]
+    assert "no matching" in findings[0].message
+
+
+def test_pd002_release_outside_finally():
+    findings = lint("""\
+        def submit(self, group):
+            yield from self.lock.acquire("mckernel", self.aspace)
+            yield from self.engine.submit(group)
+            self.lock.release("mckernel")
+        """)
+    assert codes(findings) == ["PD002"]
+    assert "finally" in findings[0].message
+
+
+def test_pd002_clean_try_finally():
+    findings = lint("""\
+        def submit(self, group):
+            yield from self.lock.acquire("mckernel", self.aspace)
+            try:
+                yield from self.engine.submit(group)
+            finally:
+                self.lock.release("mckernel")
+        """)
+    assert findings == []
+
+
+def test_pd002_tracks_distinct_receivers():
+    """Releasing lock A does not excuse leaking lock B."""
+    findings = lint("""\
+        def submit(self, group):
+            yield from self.a.acquire("linux", self.aspace)
+            yield from self.b.acquire("linux", self.aspace)
+            try:
+                yield self.sim.timeout(1.0)
+            finally:
+                self.a.release("linux")
+        """)
+    assert codes(findings) == ["PD002"]
+    assert "'self.b.acquire'" in findings[0].message
+
+
+# --- PD003 sim-process hygiene -----------------------------------------------
+
+def test_pd003_fast_method_not_a_generator():
+    findings = lint("""\
+        class BadPico(PicoDriver):
+            def fast_ioctl(self, task, fd, cmd, arg):
+                return 0
+        """)
+    assert codes(findings) == ["PD003"]
+    assert "not a generator" in findings[0].message
+
+
+def test_pd003_bare_generator_call_discards_process():
+    findings = lint("""\
+        class Pico:
+            def fast_send(self, task):
+                yield self.sim.timeout(1.0)
+                self._drain()
+
+            def _drain(self):
+                yield self.sim.timeout(2.0)
+        """)
+    assert codes(findings) == ["PD003"]
+    assert "silently discarded" in findings[0].message
+
+
+def test_pd003_yield_from_is_the_fix():
+    findings = lint("""\
+        class Pico:
+            def fast_send(self, task):
+                yield from self._drain()
+
+            def _drain(self):
+                yield self.sim.timeout(2.0)
+        """)
+    assert findings == []
+
+
+# --- PD004 layout-version guard ----------------------------------------------
+
+def test_pd004_structview_without_version_guard():
+    findings = lint("""\
+        class BadPico(PicoDriver):
+            def attach(self, lwk):
+                self.view = StructView(self.layouts["sdma_state"],
+                                       lwk.node.kheap, 0)
+
+            def fast_read(self, task):
+                yield self.view.get("current_state")
+        """)
+    assert codes(findings) == ["PD004"]
+    assert "require_layout_version" in findings[0].message
+
+
+def test_pd004_guarded_class_is_clean():
+    findings = lint("""\
+        class GoodPico(PicoDriver):
+            def attach(self, lwk):
+                layout = dwarf_extract_struct(self.module, "s", ["f"])
+                self.require_layout_version(layout, self.version)
+                self.view = StructView(layout, lwk.node.kheap, 0)
+
+            def fast_read(self, task):
+                yield self.view.get("f")
+        """)
+    assert findings == []
+
+
+# --- PD005 raw heap confinement ----------------------------------------------
+
+RAW_HEAP_SRC = """\
+    def peek(self, addr):
+        return self.heap.read_u(addr, 4)
+    """
+
+
+def test_pd005_raw_heap_in_core():
+    findings = lint(RAW_HEAP_SRC, path="src/repro/core/rogue.py")
+    assert codes(findings) == ["PD005"]
+    assert "self.heap.read_u" in findings[0].message
+
+
+def test_pd005_blessed_modules_and_other_packages_exempt():
+    assert lint(RAW_HEAP_SRC, path="src/repro/core/structs.py") == []
+    assert lint(RAW_HEAP_SRC, path="src/repro/core/sync.py") == []
+    assert lint(RAW_HEAP_SRC, path="src/repro/linux/hfi1/driver.py") == []
+
+
+# --- PD006 pinned-memory discipline ------------------------------------------
+
+def test_pd006_get_user_pages_in_fast_path():
+    findings = lint("""\
+        class BadPico(PicoDriver):
+            def fast_reg(self, task, vaddr, length):
+                pages = self.lwk.mm.get_user_pages(vaddr, length)
+                yield pages
+        """)
+    assert codes(findings) == ["PD006"]
+    assert "get_user_pages" in findings[0].message
+
+
+def test_pd006_slow_path_may_take_page_refs():
+    findings = lint("""\
+        class Driver:
+            def fast_reg(self, task, vaddr, length):
+                yield task.pagetable.phys_spans(vaddr, length)
+
+            def linux_reg(self, task, vaddr, length):
+                return self.mm.get_user_pages(vaddr, length)
+        """)
+    assert findings == []
+
+
+# --- suppression -------------------------------------------------------------
+
+def test_bare_pd_ignore_suppresses_everything():
+    src = RAW_HEAP_SRC.replace("read_u(addr, 4)",
+                               "read_u(addr, 4)  # pd-ignore")
+    assert lint(src, path="src/repro/core/rogue.py") == []
+
+
+def test_targeted_suppression_matches_code():
+    src = RAW_HEAP_SRC.replace("read_u(addr, 4)",
+                               "read_u(addr, 4)  # pd-ignore[PD005]")
+    assert lint(src, path="src/repro/core/rogue.py") == []
+
+
+def test_targeted_suppression_of_other_code_does_not_apply():
+    src = RAW_HEAP_SRC.replace("read_u(addr, 4)",
+                               "read_u(addr, 4)  # pd-ignore[PD001, PD004]")
+    assert codes(lint(src, path="src/repro/core/rogue.py")) == ["PD005"]
+
+
+# --- machinery ---------------------------------------------------------------
+
+def test_findings_are_sorted_and_render_with_hints():
+    findings = lint("""\
+        class BadPico(PicoDriver):
+            def fast_a(self, task):
+                return self.lwk._offload(task, "a", ())
+        """)
+    # PD003 anchors on the def line, PD001 on the call: line order wins
+    assert codes(findings) == ["PD003", "PD001"]
+    assert [f.line for f in findings] == sorted(f.line for f in findings)
+    rendered = findings[-1].render()
+    assert "PD001" in rendered and "(fix: " in rendered
+    assert findings[-1].hint == RULES["PD001"][1]
+
+
+def test_syntax_error_is_a_finding_not_a_crash():
+    findings = lint_source("def broken(:\n", path="bad.py")
+    assert codes(findings) == ["PD000"]
+    assert "syntax error" in findings[0].message
+    assert "PD000" in findings[0].render()
+
+
+def test_rules_table_lists_every_code():
+    table = rules_table()
+    for code in RULES:
+        assert code in table
+    assert len(RULES) >= 5
+
+
+def test_iter_python_files_expands_directories(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "b.txt").write_text("not python\n")
+    (tmp_path / "c.py").write_text("y = 2\n")
+    found = iter_python_files([str(tmp_path)])
+    assert [f.rsplit("/", 1)[-1] for f in found] == ["c.py", "a.py"]
+
+
+def test_finding_is_a_value_object():
+    f = Finding("p.py", 1, 0, "PD001", "m")
+    assert f == Finding("p.py", 1, 0, "PD001", "m")
+
+
+# --- the acceptance bar ------------------------------------------------------
+
+def test_shipped_tree_lints_clean():
+    """``python -m repro lint`` must exit zero on the repository itself;
+    this is the tier-1 enforcement of that contract."""
+    assert lint_paths([default_lint_root()]) == []

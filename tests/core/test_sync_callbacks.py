@@ -102,6 +102,82 @@ def test_release_by_non_holder_rejected():
         lock.release("linux") or lock.release("linux")
 
 
+def test_double_release_raises_driver_error():
+    sim, heap, lock = make_lock()
+
+    def body():
+        yield from lock.acquire("linux", linux_layout())
+
+    sim.run(until=sim.process(body()))
+    lock.release("linux")
+    with pytest.raises(DriverError, match="double release of sdma"):
+        lock.release("linux")
+    # the failed release must not corrupt the lock: still re-acquirable
+    def again():
+        yield from lock.acquire("mckernel", mckernel_unified_layout())
+        lock.release("mckernel")
+
+    sim.run(until=sim.process(again()))
+    assert not lock.locked
+
+
+def test_release_by_non_holder_names_both_kernels():
+    sim, heap, lock = make_lock()
+
+    def body():
+        yield from lock.acquire("linux", linux_layout())
+
+    sim.run(until=sim.process(body()))
+    with pytest.raises(DriverError,
+                       match="mckernel releasing sdma held by linux"):
+        lock.release("mckernel")
+    # ownership is untouched: linux still holds and can release
+    assert lock.held_by("linux")
+    lock.release("linux")
+    assert not lock.locked
+
+
+def test_impl_mismatch_leaves_lock_untaken():
+    sim, heap, lock = make_lock()
+
+    def bad():
+        yield from lock.acquire("mckernel", mckernel_unified_layout(),
+                                impl="mckernel-legacy-ticketlock")
+
+    proc = sim.process(bad())
+    sim.run()
+    assert isinstance(proc.exception, DriverError)
+    assert "implementation mismatch" in str(proc.exception)
+    assert not lock.locked and lock.holder is None
+
+    def good():
+        yield from lock.acquire("mckernel", mckernel_unified_layout())
+        lock.release("mckernel")
+
+    sim.run(until=sim.process(good()))
+
+
+def test_page_fault_on_acquire_leaves_lock_free():
+    """A non-unified McKernel faults on the lock word *before* joining
+    the FIFO queue — Linux must still be able to take the lock."""
+    sim, heap, lock = make_lock()
+
+    def faulting():
+        yield from lock.acquire("mckernel", mckernel_original_layout())
+
+    proc = sim.process(faulting())
+    sim.run()
+    assert isinstance(proc.exception, PageFault)
+    assert not lock.locked and lock.holder is None
+
+    def linux_body():
+        yield from lock.acquire("linux", linux_layout())
+        lock.release("linux")
+
+    sim.run(until=sim.process(linux_body()))
+    assert not lock.locked
+
+
 @given(n_contenders=st.integers(2, 10), hold=st.floats(0.1, 2.0))
 @settings(max_examples=25)
 def test_lock_is_fifo_fair_under_contention(n_contenders, hold):
