@@ -7,6 +7,7 @@
     python -m repro all
     python -m repro lint          # PicoDriver protocol lint (PD001...)
     python -m repro sanitize fig4 # re-run with the KSan race detector
+    python -m repro chaos         # fault-injection sweep (--smoke for CI)
 """
 
 from __future__ import annotations
@@ -108,7 +109,7 @@ def main(argv=None) -> int:
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
         print("commands:", ", ".join([*COMMANDS, "all", "dwarf", "lint",
-                                      "sanitize"]))
+                                      "sanitize", "chaos"]))
         return 0
     name = argv[0]
     if name == "dwarf":
@@ -119,6 +120,9 @@ def main(argv=None) -> int:
     if name == "sanitize":
         from .analysis.cli import cmd_sanitize
         return cmd_sanitize(argv[1:], COMMANDS)
+    if name == "chaos":
+        from .experiments.chaos import cmd_chaos
+        return cmd_chaos(argv[1:])
     if name == "all":
         for key, fn in COMMANDS.items():
             if key == "report":

@@ -26,6 +26,9 @@ PD005    raw heap access: no ``heap.read_u``/``write_u``/``read``/
          ``write`` in ``repro/core`` outside ``structs.py``/``sync.py``
 PD006    pinned-memory discipline: no ``get_user_pages`` reachable from
          a fast path (LWK memory is pinned by construction, sec. 3.4)
+PD007    fault-hook gating: every fault-injection draw (``*.fires(...)``)
+         sits behind a ``config.FAULTS`` check, so zero-fault runs stay
+         branch-cheap and bit-identical
 =======  ==============================================================
 
 Per-line suppression: append ``# pd-ignore`` (all rules) or
@@ -64,6 +67,10 @@ RULES: Dict[str, Tuple[str, str]] = {
               "fast paths walk pinned LWK page tables "
               "(task.pagetable.phys_spans); get_user_pages belongs to "
               "the Linux slow path"),
+    "PD007": ("fault-hook gating",
+              "guard the injector draw with 'if FAULTS.enabled and "
+              "inj is not None and inj.fires(...)' so disabled runs "
+              "never touch the fault RNG"),
 }
 
 #: call names that mark the offloading / syscall-dispatch machinery
@@ -329,6 +336,62 @@ def _check_raw_heap(path: str, tree: ast.AST,
                 f"outside structs.py/sync.py"))
 
 
+def _refs_faults(node: ast.AST) -> bool:
+    """True if the expression mentions the FAULTS config anywhere."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id == "FAULTS":
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr == "FAULTS":
+            return True
+    return False
+
+
+def _check_fault_gating(path: str, tree: ast.AST,
+                        findings: List[Finding]) -> None:
+    """PD007: every ``*.fires(...)`` draw is behind a FAULTS check.
+
+    A draw is considered guarded when it sits in the body of an ``if``
+    (or the then-branch of a conditional expression) whose test
+    references ``FAULTS``, or — matching the hooks' actual idiom — when
+    it appears in an ``and`` chain *after* an operand that references
+    ``FAULTS``, as in ``if FAULTS.enabled and inj and inj.fires(...)``.
+    """
+
+    def scan(node: ast.AST, guarded: bool) -> None:
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "fires"
+                and not guarded):
+            findings.append(Finding(
+                path, node.lineno, node.col_offset, "PD007",
+                f"fault-injection draw '{_dotted(node.func)}' is not "
+                f"guarded by a config.FAULTS check"))
+        if isinstance(node, ast.If):
+            scan(node.test, guarded)
+            body_guarded = guarded or _refs_faults(node.test)
+            for stmt in node.body:
+                scan(stmt, body_guarded)
+            for stmt in node.orelse:
+                scan(stmt, guarded)
+            return
+        if isinstance(node, ast.IfExp):
+            scan(node.test, guarded)
+            scan(node.body, guarded or _refs_faults(node.test))
+            scan(node.orelse, guarded)
+            return
+        if isinstance(node, ast.BoolOp) and isinstance(node.op, ast.And):
+            chain_guarded = guarded
+            for operand in node.values:
+                scan(operand, chain_guarded)
+                if _refs_faults(operand):
+                    chain_guarded = True
+            return
+        for child in ast.iter_child_nodes(node):
+            scan(child, guarded)
+
+    scan(tree, False)
+
+
 # --- driver ------------------------------------------------------------------
 
 def lint_source(source: str, path: str = "<string>") -> List[Finding]:
@@ -348,6 +411,7 @@ def lint_source(source: str, path: str = "<string>") -> List[Finding]:
                 _check_fast_path_calls(path, cls, findings)
     _check_lock_discipline(path, tree, findings)
     _check_raw_heap(path, tree, findings)
+    _check_fault_gating(path, tree, findings)
     lines = source.splitlines()
     kept = [f for f in findings if not _suppressed(lines, f)]
     return sorted(kept, key=lambda f: (f.path, f.line, f.col, f.code))

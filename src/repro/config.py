@@ -31,6 +31,35 @@ def enable_race_detection(enabled: bool = True) -> None:
     ANALYSIS.race_detection = enabled
 
 
+@dataclass
+class FaultConfig:
+    """Opt-in fault-injection toggles (see :mod:`repro.faults`).
+
+    ``enabled`` gates every injection hook in the hardware and driver
+    models behind a single branch, so the zero-fault paths stay
+    branch-cheap and bit-identical to a build without the hooks (lint
+    rule PD007 enforces the gating).  ``plan`` holds the active
+    :class:`~repro.faults.FaultPlan` while a chaos run is in progress.
+    """
+
+    enabled: bool = False
+    plan: object = None
+
+
+#: the process-wide fault-injection configuration (mutated by
+#: ``python -m repro chaos`` and tests)
+FAULTS = FaultConfig()
+
+
+def enable_fault_injection(plan: object = None) -> None:
+    """Install a fault plan for machines built after this call.
+
+    Passing ``None`` disables injection entirely (the default state).
+    """
+    FAULTS.enabled = plan is not None
+    FAULTS.plan = plan
+
+
 class OSConfig(Enum):
     """Which OS stack runs the application ranks."""
 

@@ -31,7 +31,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from ..errors import DriverError
+from ..config import FAULTS
+from ..errors import DriverError, FastPathUnavailable, TransientDeviceError
 from ..hw.hfi import Packet, SdmaRequestGroup
 from ..linux.hfi1 import ioctls as ioc
 from ..linux.hfi1.debuginfo import SDMA_STATE_S99_RUNNING
@@ -157,7 +158,13 @@ class HFIPicoDriver(PicoDriver):
             "sdma_state", self.linux_driver.engine_states[engine.index].addr)
         if (sstate.get("go_s99_running") != 1
                 or sstate.get("current_state") != SDMA_STATE_S99_RUNNING):
-            raise DriverError(f"SDMA engine {engine.index} not running")
+            # The fast path cannot afford the drain/restart wait and has
+            # no business driving recovery; defer to the Linux slow path,
+            # which blocks until the engine is healthy (section 3: the
+            # slow path handles everything the fast path does not).
+            lwk.tracer.count("pico.engine_not_running")
+            raise FastPathUnavailable(
+                f"SDMA engine {engine.index} not running")
 
         meta_addr, alloc_cost = lwk.alloc.kmalloc(192, task.core_id)
         yield sim.timeout(sc.writev_base_pico
@@ -173,7 +180,8 @@ class HFIPicoDriver(PicoDriver):
                         dst_node=meta["dst_node"], dst_ctxt=meta["dst_ctxt"],
                         nbytes=total, tag=meta.get("tag"),
                         payload=meta.get("payload"),
-                        tids=tuple(meta.get("tids", ())))
+                        tids=tuple(meta.get("tids", ())),
+                        seq=meta.get("seq"), csum=meta.get("csum"))
         group = SdmaRequestGroup(
             descriptors=descs, packet=packet, owner_kernel="mckernel",
             meta_addrs=[meta_addr], callback_addr=self.completion_addr,
@@ -182,6 +190,14 @@ class HFIPicoDriver(PicoDriver):
         yield from self.linux_driver.sdma_lock.acquire("mckernel", lwk.aspace)
         try:
             yield from engine.submit(group)
+        except DriverError as exc:
+            # Undo our bookkeeping and let the slow path redo the whole
+            # call; no completion will fire for a rejected submit.
+            pq.add("n_reqs", -1)
+            kfree_cost = lwk.alloc.kfree(meta_addr, task.core_id)
+            yield sim.timeout(kfree_cost)
+            raise FastPathUnavailable(
+                f"pico writev submit failed: {exc}") from exc
         finally:
             self.linux_driver.sdma_lock.release("mckernel")
         lwk.tracer.count("pico.sdma_sends")
@@ -225,6 +241,13 @@ class HFIPicoDriver(PicoDriver):
         lwk = self.lwk
         sc = lwk.params.syscall
         nic = lwk.params.nic
+        inj = self.hfi.injector
+        if FAULTS.enabled and inj is not None and inj.fires("tid.transient"):
+            # Same retryable RcvArray race the Linux driver can hit; the
+            # fast path surfaces it identically so PSM's retry loop is
+            # OS-agnostic.
+            yield lwk.sim.timeout(sc.tid_ioctl_base_pico)
+            raise TransientDeviceError("TID_UPDATE raced RcvArray update")
         vaddr, length = arg["vaddr"], arg["length"]
         if not task.pagetable.is_pinned(vaddr, length):
             raise DriverError(

@@ -35,6 +35,41 @@ class DriverError(ReproError):
     """Device-driver level failure (bad TID, ring overflow misuse, ...)."""
 
 
+class FastPathUnavailable(DriverError):
+    """The PicoDriver fast path cannot serve this call right now.
+
+    Raised when the fast path observes (through its DWARF struct views)
+    that the device is not in a serviceable state — e.g. the target SDMA
+    engine is halted mid-recovery — or when a device submit fails under
+    the fast path.  The McKernel syscall dispatcher catches this and
+    re-issues the call over the offloaded Linux slow path (graceful
+    degradation, paper section 3: the slow path "handles everything").
+    """
+
+
+class TransientDeviceError(DriverError):
+    """A device operation failed in a retryable way (e.g. a TID_UPDATE
+    that raced a receive-array update); the caller should back off and
+    retry before surfacing a hard failure."""
+
+
+class DeviceTimeout(ReproError):
+    """Bounded retries/timeouts exhausted without the transfer completing.
+
+    Surfaced to MPI through the request's completion event after the PSM
+    reliability layer gives up (lost packets that outlived every
+    retransmit, a peer that never answered an RTS, ...).
+    """
+
+
+class TransferCorrupt(ReproError):
+    """Payload integrity check failed and retransmits could not repair it.
+
+    Raised by the PSM expected-receive checksum when injected fabric
+    corruption survives the bounded retransmit budget.
+    """
+
+
 class DwarfError(ReproError):
     """Requested structure/field not found in DWARF debug information."""
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from ..config import ANALYSIS, OSConfig
+from ..config import ANALYSIS, FAULTS, OSConfig
 from ..core.hfi_pico import HFIPicoDriver
 from ..errors import ReproError
 from ..hw.fabric import Fabric
@@ -55,6 +55,15 @@ class Machine:
         self.tracer = Tracer()
         self.rng = RngFactory(params.seed)
         self.fabric = Fabric(self.sim, params.nic)
+        #: fault injector shared by the fabric and every HFI, when
+        #: ``repro.config.FAULTS`` carries a plan (chaos runs)
+        self.injector = None
+        if FAULTS.enabled and FAULTS.plan is not None:
+            from ..faults import FaultInjector
+            self.injector = FaultInjector(FAULTS.plan,
+                                          self.rng.spawn("faults"),
+                                          self.tracer)
+            self.fabric.injector = self.injector
         #: KSan race detectors, one per node heap, when
         #: ``repro.config.ANALYSIS.race_detection`` is on
         self.sanitizers: List[object] = []
@@ -74,6 +83,7 @@ class Machine:
             node.kheap.monitor = detector
             self.sanitizers.append(detector)
         self.fabric.attach(node.hfi)
+        node.hfi.injector = self.injector
         linux = LinuxKernel(
             self.sim, self.params, node, self.rng,
             noisy_app_cores=self.os_config.noisy_app_cores,

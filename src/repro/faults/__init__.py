@@ -1,0 +1,16 @@
+"""Deterministic fault-injection plane.
+
+The paper keeps the Linux slow path around because the fast path only
+handles the common case; this package exists to make the *uncommon*
+case testable.  A :class:`FaultPlan` assigns firing probabilities to
+the fault points wired into the hardware and driver models, and a
+:class:`FaultInjector` draws those decisions from seeded, per-point RNG
+streams so every chaos run is reproducible.  Injection is globally
+gated by :data:`repro.config.FAULTS` (set via
+:func:`repro.config.enable_fault_injection`); with the gate closed the
+hooks cost one attribute load and a falsy branch.
+"""
+
+from .plan import FAULT_POINTS, FaultInjector, FaultPlan
+
+__all__ = ["FAULT_POINTS", "FaultInjector", "FaultPlan"]

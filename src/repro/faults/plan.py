@@ -1,0 +1,124 @@
+"""Seeded, deterministic fault plans and the injector that draws them.
+
+A :class:`FaultPlan` names every fault point the hardware and driver
+models expose and assigns each a firing probability; a
+:class:`FaultInjector` binds a plan to a dedicated RNG sub-factory so
+that fault decisions are reproducible and — critically — *disjoint*
+from every other random stream in the simulation.  Each fault point
+draws from its own lazily-created stream, so a point with rate 0 never
+draws a number: a zero-rate plan is bit-identical to no plan at all.
+
+The fault points (and where they are injected):
+
+=================  ====================================================
+``fabric.drop``    :meth:`repro.hw.fabric.Fabric.transmit` discards the
+                   packet instead of delivering it.
+``fabric.corrupt`` the fabric flips bits in flight — modeled by
+                   perturbing the packet checksum so the receiver's
+                   integrity check fails.
+``sdma.desc_error`` an SDMA engine hits a descriptor fetch error while
+                   draining its ring and halts.
+``sdma.engine_halt`` a whole-engine freeze with no descriptor cause
+                   (the hfi1 errata class the driver's halt/restart
+                   state machine exists for).
+``irq.lost``       a completion interrupt is dropped; the driver's
+                   completion watchdog recovers it much later.
+``tid.transient``  a TID_UPDATE ioctl fails retryably (receive-array
+                   race); PSM backs off and retries.
+=================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import ReproError
+from ..sim.trace import Tracer
+from ..units import USEC
+
+#: fault-point name -> FaultPlan attribute holding its rate
+FAULT_POINTS = {
+    "fabric.drop": "fabric_drop",
+    "fabric.corrupt": "fabric_corrupt",
+    "sdma.desc_error": "sdma_desc_error",
+    "sdma.engine_halt": "sdma_engine_halt",
+    "irq.lost": "irq_lost",
+    "tid.transient": "tid_transient",
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Per-fault-point firing probabilities (all default to 0).
+
+    Rates are per *opportunity*: a ``fabric.drop`` of 0.01 drops 1% of
+    transmitted packets, a ``sdma.desc_error`` of 0.01 halts the engine
+    on 1% of descriptor fetches, and so on.
+    """
+
+    fabric_drop: float = 0.0
+    fabric_corrupt: float = 0.0
+    sdma_desc_error: float = 0.0
+    sdma_engine_halt: float = 0.0
+    irq_lost: float = 0.0
+    tid_transient: float = 0.0
+    #: how long the driver-side completion watchdog waits before
+    #: recovering a lost completion interrupt.
+    irq_recovery_timeout: float = 60 * USEC
+
+    @classmethod
+    def uniform(cls, rate: float, **overrides) -> "FaultPlan":
+        """A plan firing every fault point at the same ``rate``."""
+        values = {name: rate for name in FAULT_POINTS.values()}
+        values.update(overrides)
+        return cls(**values)
+
+    def rate_of(self, point: str) -> float:
+        """The firing probability of a named fault point."""
+        try:
+            attr = FAULT_POINTS[point]
+        except KeyError:
+            raise ReproError(f"unknown fault point {point!r}; choose from "
+                             f"{', '.join(sorted(FAULT_POINTS))}")
+        return getattr(self, attr)
+
+    def describe(self) -> str:
+        """One-line summary of the nonzero rates (for reports)."""
+        parts = [f"{p}={self.rate_of(p):g}"
+                 for p in sorted(FAULT_POINTS) if self.rate_of(p) > 0]
+        return ", ".join(parts) if parts else "no faults"
+
+
+class FaultInjector:
+    """Draws fault decisions for one machine, deterministically.
+
+    ``rng_factory`` must be a machine-private sub-factory (see
+    :meth:`repro.sim.rng.RngFactory.spawn`) so that installing the
+    injector cannot perturb any other stream's sequence.  Streams are
+    created lazily per fault point and :meth:`fires` short-circuits on
+    zero rates before touching the RNG, which is what keeps zero-rate
+    plans bit-identical to fault-free runs.
+    """
+
+    def __init__(self, plan: FaultPlan, rng_factory,
+                 tracer: Optional[Tracer] = None):
+        self.plan = plan
+        self.rng_factory = rng_factory
+        self.tracer = tracer
+        self._streams: Dict[str, object] = {}
+
+    def fires(self, point: str) -> bool:
+        """True if the named fault point fires at this opportunity."""
+        rate = self.plan.rate_of(point)
+        if rate <= 0.0:
+            return False
+        stream = self._streams.get(point)
+        if stream is None:
+            stream = self._streams[point] = self.rng_factory.stream(
+                "fault", point)
+        if stream.random() >= rate:
+            return False
+        if self.tracer is not None:
+            self.tracer.count(f"faults.{point}")
+        return True

@@ -8,8 +8,10 @@ wire.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict
 
+from ..config import FAULTS
 from ..errors import ReproError
 from ..params import NicParams
 from ..sim import Simulator
@@ -24,6 +26,8 @@ class Fabric:
         self.sim = sim
         self.params = params
         self._hfis: Dict[int, HFIDevice] = {}
+        #: optional :class:`repro.faults.FaultInjector` (chaos runs only)
+        self.injector = None
 
     def attach(self, hfi: HFIDevice) -> None:
         """Connect a node's HFI to the fabric."""
@@ -39,6 +43,12 @@ class Fabric:
         """Deliver a packet after the one-way wire latency (loopback is free)."""
         if packet.dst_node not in self._hfis:
             raise ReproError(f"packet for unknown node {packet.dst_node}")
+        inj = self.injector
+        if FAULTS.enabled and inj is not None and inj.fires("fabric.drop"):
+            return
+        if FAULTS.enabled and inj is not None and inj.fires("fabric.corrupt"):
+            packet = replace(packet, csum=(packet.csum ^ 0x5A5A5A5A
+                                           if packet.csum is not None else -1))
         dst = self._hfis[packet.dst_node]
         if packet.dst_node == packet.src_node:
             dst.receive(packet)

@@ -24,6 +24,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from ..config import FAULTS
 from ..errors import DriverError, ReproError
 from ..params import NicParams
 from ..sim import Event, Resource, Simulator, Store, Tracer
@@ -79,7 +80,7 @@ class Packet:
     """A logical message on the fabric (serialization is modeled at the
     sender, so one packet represents the whole transfer)."""
 
-    kind: str              # "eager" | "expected" | "rts" | "cts"
+    kind: str              # "eager" | "expected" | "rts" | "cts" | "ack"
     src_node: int
     dst_node: int
     dst_ctxt: int
@@ -87,6 +88,10 @@ class Packet:
     tag: object = None
     payload: object = None
     tids: Tuple[int, ...] = ()
+    #: reliability sequence number (chaos runs only; ``None`` otherwise)
+    seq: object = None
+    #: payload integrity checksum (chaos runs only; ``None`` otherwise)
+    csum: Optional[int] = None
 
 
 class RcvContext:
@@ -95,13 +100,28 @@ class RcvContext:
     def __init__(self, ctxt_id: int, owner: str):
         self.ctxt_id = ctxt_id
         self.owner = owner
-        self.on_packet: Optional[Callable[[Packet], None]] = None
         self.eager_backlog: Deque[Packet] = deque()
+        self._on_packet: Optional[Callable[[Packet], None]] = None
+
+    @property
+    def on_packet(self) -> Optional[Callable[[Packet], None]]:
+        """The installed packet handler (``None`` before endpoint init)."""
+        return self._on_packet
+
+    @on_packet.setter
+    def on_packet(self, handler: Optional[Callable[[Packet], None]]) -> None:
+        # Packets that arrived before the endpoint installed its handler
+        # sit in eager_backlog; drain them in arrival order the moment a
+        # handler appears so early arrivals are not stranded forever.
+        self._on_packet = handler
+        if handler is not None:
+            while self.eager_backlog:
+                handler(self.eager_backlog.popleft())
 
     def deliver(self, packet: Packet) -> None:
         """Hand a packet to the context's handler (or queue it)."""
-        if self.on_packet is not None:
-            self.on_packet(packet)
+        if self._on_packet is not None:
+            self._on_packet(packet)
         else:
             self.eager_backlog.append(packet)
 
@@ -124,10 +144,40 @@ class SdmaEngine:
         self._work = Store(sim, name=f"sdma{index}.work")
         self._proc = sim.process(self._run())
         self.busy = False
+        #: True between a hardware halt and the driver's restart
+        self.halted = False
+        self._restart_evt: Optional[Event] = None
 
     @property
     def free_slots(self) -> int:
         return self.ring_size - len(self._ring)
+
+    def halt(self, reason: str) -> None:
+        """Freeze the engine (descriptor error / spontaneous halt) and
+        raise the error interrupt so the driver can recover it.
+
+        Ring contents are preserved; draining resumes after
+        :meth:`restart`."""
+        if self.halted:
+            return
+        self.halted = True
+        self._restart_evt = Event(self.sim)
+        self.device.tracer.count("hfi.sdma_halts")
+        self.device.raise_error_irq(self, reason)
+
+    def restart(self) -> None:
+        """Driver-side recovery completed: resume draining the ring.
+
+        Idempotent — restarting a running engine is a no-op, so the
+        driver's recovery path is safe to run against an engine whose
+        shared-heap state was frozen without a hardware halt."""
+        if not self.halted:
+            return
+        self.halted = False
+        self.device.tracer.count("hfi.sdma_restarts")
+        evt, self._restart_evt = self._restart_evt, None
+        if evt is not None:
+            evt.succeed()
 
     def submit(self, group: SdmaRequestGroup):
         """Generator: enqueue every descriptor of ``group``, blocking on
@@ -155,6 +205,9 @@ class SdmaEngine:
     def _run(self):
         params = self.device.params
         while True:
+            if self.halted:
+                yield self._restart_evt
+                continue
             if not self._ring:
                 yield self._work.get()
                 continue
@@ -165,6 +218,15 @@ class SdmaEngine:
                 burst: List[Tuple[SdmaDescriptor, SdmaRequestGroup, bool]] = []
                 t = 0.0
                 while self._ring:
+                    inj = self.device.injector
+                    if (FAULTS.enabled and inj is not None
+                            and inj.fires("sdma.desc_error")):
+                        self.halt("descriptor fetch error")
+                    if (FAULTS.enabled and inj is not None
+                            and inj.fires("sdma.engine_halt")):
+                        self.halt("spontaneous engine freeze")
+                    if self.halted:
+                        break
                     desc, group, is_last = self._ring.popleft()
                     burst.append((desc, group, is_last))
                     t += params.sdma_desc_overhead + desc.nbytes / params.link_bandwidth
@@ -201,6 +263,10 @@ class HFIDevice:
         self.fabric = None  # set by Fabric.attach
         #: installed by the Linux interrupt subsystem at driver load
         self.irq_dispatcher: Optional[Callable[[SdmaRequestGroup], None]] = None
+        #: installed by the hfi1 driver: SDMA engine error interrupts
+        self.error_dispatcher: Optional[Callable[[SdmaEngine, str], None]] = None
+        #: optional :class:`repro.faults.FaultInjector` (chaos runs only)
+        self.injector = None
 
     # -- contexts ----------------------------------------------------------
 
@@ -212,7 +278,22 @@ class HFIDevice:
         return ctxt
 
     def free_context(self, ctxt: RcvContext) -> None:
-        """Release a context and reclaim its TID entries."""
+        """Release a context and reclaim its TID entries.
+
+        Raises :class:`DriverError` if an SDMA request group still in
+        flight would deliver to this context once its engine drains —
+        freeing underneath it would silently hand packets to a dead
+        context (the driver must quiesce its transfers first).
+        """
+        inflight = sum(
+            1 for eng in self.engines for _d, group, is_last in eng._ring
+            if is_last and group.packet.dst_node == self.node_id
+            and group.packet.dst_ctxt == ctxt.ctxt_id)
+        if inflight:
+            self.tracer.count("hfi.free_ctxt_inflight")
+            raise DriverError(
+                f"free of context {ctxt.ctxt_id} with {inflight} SDMA "
+                f"group(s) in flight targeting it")
         self._contexts.pop(ctxt.ctxt_id, None)
         stale = [t for t, e in self._tid_entries.items()
                  if e.ctxt_id == ctxt.ctxt_id]
@@ -310,11 +391,24 @@ class HFIDevice:
         """Called by the fabric when a packet arrives at this node."""
         if packet.kind == "expected":
             for tid in packet.tids:
+                # Under fault injection a retransmit can outlive its
+                # window's RcvArray entries (the flow failed and freed
+                # them); real hardware discards writes to invalidated
+                # entries, so drop the stale packet instead of raising.
+                if FAULTS.enabled and tid not in self._tid_entries:
+                    self.tracer.count("hfi.rx_stale_tid")
+                    return
                 self.tid_entry(tid)  # validates hardware state
             self.tracer.count("hfi.rx_expected")
         else:
             self.tracer.count(f"hfi.rx_{packet.kind}")
-        self.context(packet.dst_ctxt).deliver(packet)
+        ctxt = self._contexts.get(packet.dst_ctxt)
+        if ctxt is None:
+            if FAULTS.enabled:
+                self.tracer.count("hfi.rx_dead_ctxt")
+                return
+            raise DriverError(f"no receive context {packet.dst_ctxt}")
+        ctxt.deliver(packet)
 
     # -- interrupts -----------------------------------------------------------------
 
@@ -325,4 +419,25 @@ class HFIDevice:
             raise ReproError(
                 f"HFI {self.node_id}: IRQ raised with no dispatcher "
                 f"(driver not loaded?)")
+        inj = self.injector
+        if FAULTS.enabled and inj is not None and inj.fires("irq.lost"):
+            # The interrupt is dropped on the floor; the driver's
+            # completion watchdog notices the stuck request much later
+            # and redelivers (modeled as one deferred dispatch).
+            self.sim.timeout(inj.plan.irq_recovery_timeout).add_callback(
+                lambda _evt: self._recover_irq(group))
+            return
         self.irq_dispatcher(group)
+
+    def _recover_irq(self, group: SdmaRequestGroup) -> None:
+        self.tracer.count("hfi.irq_recovered")
+        self.irq_dispatcher(group)
+
+    def raise_error_irq(self, engine: SdmaEngine, reason: str) -> None:
+        """SDMA engine error interrupt (halt detected in hardware)."""
+        self.tracer.count("hfi.sdma_err_irqs")
+        if self.error_dispatcher is None:
+            raise ReproError(
+                f"HFI {self.node_id}: SDMA error IRQ ({reason}) with no "
+                f"error dispatcher (driver not loaded?)")
+        self.error_dispatcher(engine, reason)

@@ -16,13 +16,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ...config import FAULTS
 from ...core.structs import StructInstance
-from ...errors import BadSyscall, DriverError
+from ...errors import BadSyscall, DriverError, TransientDeviceError
 from ...hw.hfi import Packet, RcvContext, SdmaRequestGroup
+from ...sim import Event
 from ...units import PAGE_SIZE, USEC
 from ..vfs import File, FileOps
 from . import ioctls as ioc
 from .debuginfo import (CURRENT_VERSION, SDMA_PKT_Q_ACTIVE,
+                        SDMA_STATE_S10_HW_START_UP_HALT_WAIT,
                         SDMA_STATE_S99_RUNNING, build_module, struct_defs)
 from .sdma import build_descs_from_pages
 
@@ -63,6 +66,10 @@ class Hfi1Driver(FileOps):
         #: cross-kernel callback registry, installed by the machine builder
         #: when an LWK is present
         self.callbacks = None
+        #: engines whose halt recovery is already queued/running
+        self._recovering = set()
+        #: submitters parked until an engine re-enters S99_RUNNING
+        self._engine_waiters: Dict[int, List[Event]] = {}
 
     # -- module load ---------------------------------------------------------
 
@@ -102,6 +109,7 @@ class Hfi1Driver(FileOps):
         self.device.add_attr("tids_in_use", lambda: self.hfi.tids_in_use)
         kernel.devices.register(self.device)
         self.hfi.irq_dispatcher = self._irq
+        self.hfi.error_dispatcher = self._sdma_error_irq
 
     def file_state(self, file: File) -> DriverFileState:
         """Driver per-open state for a file (via private_data)."""
@@ -186,7 +194,8 @@ class Hfi1Driver(FileOps):
                         dst_node=meta["dst_node"], dst_ctxt=meta["dst_ctxt"],
                         nbytes=total, tag=meta.get("tag"),
                         payload=meta.get("payload"),
-                        tids=tuple(meta.get("tids", ())))
+                        tids=tuple(meta.get("tids", ())),
+                        seq=meta.get("seq"), csum=meta.get("csum"))
         completion = meta.get("completion")
         pq_struct = state.pq
 
@@ -206,6 +215,7 @@ class Hfi1Driver(FileOps):
                                  on_complete=complete, owner_kernel="linux",
                                  meta_addrs=[meta_addr])
         engine = self.hfi.pick_engine()
+        yield from self._await_engine_running(engine)
         yield from self.sdma_lock.acquire("linux", kernel.aspace)
         try:
             yield from engine.submit(group)
@@ -255,6 +265,12 @@ class Hfi1Driver(FileOps):
         vaddr, length = arg["vaddr"], arg["length"]
         sc = kernel.params.syscall
         nic = kernel.params.nic
+        inj = self.hfi.injector
+        if FAULTS.enabled and inj is not None and inj.fires("tid.transient"):
+            # The programming raced a receive-array update: the real
+            # driver returns -EAGAIN after burning the entry-path cost.
+            yield kernel.sim.timeout(sc.tid_ioctl_base)
+            raise TransientDeviceError("TID_UPDATE raced RcvArray update")
         pages, gup_cost = kernel.mm.get_user_pages(task, vaddr, length)
         # one RcvArray entry per base page: the unmodified driver derives
         # spans from the page list, so contiguity is invisible to it
@@ -303,6 +319,51 @@ class Hfi1Driver(FileOps):
         state = self.file_state(file)
         return len(state.ctxt.eager_backlog)
         yield  # pragma: no cover
+
+    # -- SDMA halt recovery ------------------------------------------------------------
+
+    def _sdma_error_irq(self, engine, reason: str) -> None:
+        """SDMA error IRQ top half: publish "not running" into the shared
+        engine state *synchronously* (so any fast path consulting the
+        struct view backs off immediately), then queue the bottom-half
+        drain/restart on a Linux CPU."""
+        if engine.index in self._recovering:
+            return
+        self._recovering.add(engine.index)
+        self.engine_states[engine.index].set("go_s99_running", 0)
+        self.hfi.tracer.count("hfi.sdma_recoveries")
+        self.kernel.interrupts.deliver(self._sdma_recover, engine, reason)
+
+    def _sdma_recover(self, engine, reason: str):
+        """Bottom half (generator on a Linux CPU): walk the engine through
+        the halt-wait state, drain/reinit, and return it to S99_RUNNING —
+        the hfi1 ``sdma_state`` machine collapsed to its observable
+        states."""
+        state = self.engine_states[engine.index]
+        state.set("previous_state", state.get("current_state"))
+        state.set("current_state", SDMA_STATE_S10_HW_START_UP_HALT_WAIT)
+        state.set("go_s99_running", 0)
+        yield self.kernel.sim.timeout(self.kernel.params.nic.sdma_restart_cost)
+        state.set("previous_state", SDMA_STATE_S10_HW_START_UP_HALT_WAIT)
+        state.set("current_state", SDMA_STATE_S99_RUNNING)
+        state.set("go_s99_running", 1)
+        engine.restart()
+        self._recovering.discard(engine.index)
+        for waiter in self._engine_waiters.pop(engine.index, []):
+            waiter.succeed()
+
+    def _await_engine_running(self, engine):
+        # Generator: the slow path blocks (it can afford to) until the
+        # engine's published state is S99_RUNNING again.  If the engine
+        # halted without an error IRQ having fired yet, kick recovery
+        # ourselves — this is the driver's submit-side halt detection.
+        state = self.engine_states[engine.index]
+        while (state.get("current_state") != SDMA_STATE_S99_RUNNING
+                or state.get("go_s99_running") != 1):
+            self._sdma_error_irq(engine, "halt detected at submit")
+            waiter = Event(self.kernel.sim)
+            self._engine_waiters.setdefault(engine.index, []).append(waiter)
+            yield waiter
 
     # -- interrupt handling ----------------------------------------------------------------
 

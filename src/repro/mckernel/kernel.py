@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from ..core.picodriver import PicoDriverRegistry
-from ..errors import BadSyscall, ReproError
+from ..errors import BadSyscall, FastPathUnavailable, ReproError
 from ..hw.node import Node
 from ..ihk.ikc import IkcChannel
 from ..ihk.partition import IhkPartition
@@ -160,8 +160,18 @@ class McKernel(KernelBase):
                     f"pico.{'fast' if decision.handled else 'offload'}.{name}")
                 if decision.handled:
                     driver = self.pico.lookup(path)
-                    ret = yield from driver.fast_call(task, name, args)
-                    return ret
+                    try:
+                        ret = yield from driver.fast_call(task, name, args)
+                        return ret
+                    except FastPathUnavailable:
+                        # Graceful degradation: the fast path declined
+                        # (halted engine, failed submit); the unmodified
+                        # Linux driver handles everything, so re-issue
+                        # the call over the offload path.
+                        self.tracer.count("pico.fallbacks")
+                        self.tracer.count(f"pico.fallback.{name}")
+                        ret = yield from self._offload(task, name, args)
+                        return ret
                 if name == "close":
                     ret = yield from self._offload(task, name, args)
                     self._device_fds[task.name].pop(fd, None)

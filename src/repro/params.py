@@ -73,6 +73,10 @@ class NicParams:
     irq_latency: float = 1.4 * USEC
     #: Completion handler fixed cost (callback dispatch + metadata cleanup).
     irq_handler_cost: float = 0.9 * USEC
+    #: SDMA engine drain/reinit time after a halt (the hfi1 driver's
+    #: S10_HW_START_UP_HALT_WAIT dwell: descriptor queue flush + CSR
+    #: reprogramming before the engine re-enters S99_RUNNING).
+    sdma_restart_cost: float = 40 * USEC
 
 
 @dataclass(frozen=True)
@@ -138,6 +142,16 @@ class PsmParams:
     #: polling, header validation, completion bookkeeping) — identical on
     #: every OS configuration.
     rndv_window_overhead: float = 6.0 * USEC
+    #: base reliability timeout: an un-ACKed eager send, an unanswered
+    #: RTS, or a CTS whose data never lands is retransmitted after this
+    #: long (chosen well above the worst uncontended transfer time of one
+    #: 256KB window so the zero-fault path never spuriously retries).
+    retry_timeout: float = 400 * USEC
+    #: exponential backoff multiplier applied per retransmission.
+    retry_backoff: float = 2.0
+    #: bounded retransmit budget before a typed DeviceTimeout /
+    #: TransferCorrupt surfaces to the application.
+    max_retries: int = 6
 
 
 @dataclass(frozen=True)

@@ -11,7 +11,9 @@ from __future__ import annotations
 
 from typing import Dict, NamedTuple, Optional, Tuple
 
-from ..errors import ReproError
+from ..config import FAULTS
+from ..errors import (DeviceTimeout, ReproError, TransferCorrupt,
+                      TransientDeviceError)
 from ..hw.hfi import HFIDevice, Packet
 from ..kernels.base import Task
 from ..linux.hfi1 import ioctls as ioc
@@ -19,8 +21,8 @@ from ..params import Params
 from ..sim import Event, Simulator, Tracer
 from .mq import MatchedQueue, MqRequest, TagMatcher, UnexpectedMessage
 from .progress import ProgressWorker
-from .transfer import (Cts, RecvFlow, Rts, SendFlow, window_count,
-                       window_extent)
+from .transfer import (Cts, RecvFlow, Rts, SendFlow, packet_checksum,
+                       window_count, window_extent)
 
 
 class EndpointAddress(NamedTuple):
@@ -50,6 +52,14 @@ class Endpoint:
         self._send_flows: Dict[Tuple, SendFlow] = {}
         self._recv_flows: Dict[Tuple, RecvFlow] = {}
         self._msg_counter = 0
+        # -- reliability state, used only under fault injection --
+        self._tx_seq = 0
+        #: un-ACKed eager sends: seq -> retransmit record
+        self._pending_eager: Dict[Tuple, dict] = {}
+        #: eager sequence numbers already delivered (dedups retransmits)
+        self._seen_eager = set()
+        #: rendezvous msg_ids whose RTS was already processed
+        self._seen_rts = set()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -93,26 +103,57 @@ class Endpoint:
         req = MqRequest(self.sim, "send")
         yield self.sim.timeout(self.params.psm.mq_overhead)
         if nbytes <= self.params.nic.pio_threshold:
+            seq = csum = None
+            if FAULTS.enabled:
+                seq = (self.addr, self._tx_seq)
+                self._tx_seq += 1
+                csum = packet_checksum("eager", ("eager", self.addr, tag),
+                                       nbytes, seq, payload)
             pkt = Packet(kind="eager", src_node=self.addr.node_id,
                          dst_node=dest.node_id, dst_ctxt=dest.ctxt_id,
                          nbytes=nbytes, tag=("eager", self.addr, tag),
-                         payload=payload)
+                         payload=payload, seq=seq, csum=csum)
+            if FAULTS.enabled:
+                # completion is deferred to the receiver's ACK; the
+                # watchdog retransmits until acked or the budget is gone
+                self._pending_eager[seq] = {
+                    "via": "pio", "pkt": pkt, "req": req,
+                    "tag": tag, "nbytes": nbytes}
             yield from self.hfi.pio_send(pkt)
             self.tracer.count("psm.eager_sends")
-            req.complete(self.addr, tag, nbytes)
+            if FAULTS.enabled:
+                self.sim.process(self._eager_watchdog(seq))
+            else:
+                req.complete(self.addr, tag, nbytes)
             return req
         if nbytes <= self.params.psm.expected_threshold:
             # eager over SDMA: one writev, no TID registration; the
             # receiver copies out of library buffers
-            done = Event(self.sim)
             meta = {"dst_node": dest.node_id, "dst_ctxt": dest.ctxt_id,
                     "kind": "eager", "tag": ("eager", self.addr, tag),
-                    "payload": payload, "completion": done}
+                    "payload": payload}
+            done = None
+            seq = None
+            if FAULTS.enabled:
+                seq = (self.addr, self._tx_seq)
+                self._tx_seq += 1
+                meta["seq"] = seq
+                meta["csum"] = packet_checksum("eager", meta["tag"],
+                                               nbytes, seq, payload)
+                self._pending_eager[seq] = {
+                    "via": "sdma", "meta": dict(meta), "buffer": buffer,
+                    "req": req, "tag": tag, "nbytes": nbytes}
+            else:
+                done = Event(self.sim)
+                meta["completion"] = done
             yield from self.task.syscall("writev", self.fd,
                                          [meta, (buffer, nbytes)])
             self.tracer.count("psm.eager_sdma_sends")
-            done.add_callback(
-                lambda _e: req.complete(self.addr, tag, nbytes))
+            if FAULTS.enabled:
+                self.sim.process(self._eager_watchdog(seq))
+            else:
+                done.add_callback(
+                    lambda _e: req.complete(self.addr, tag, nbytes))
             return req
         msg_id = (self.addr, self._msg_counter)
         self._msg_counter += 1
@@ -122,11 +163,16 @@ class Endpoint:
                         request=req)
         self._send_flows[msg_id] = flow
         rts = Rts(msg_id, self.addr, tag, nbytes, payload)
+        csum = (packet_checksum("rts", None, self.params.psm.ctrl_bytes,
+                                None, rts) if FAULTS.enabled else None)
         pkt = Packet(kind="rts", src_node=self.addr.node_id,
                      dst_node=dest.node_id, dst_ctxt=dest.ctxt_id,
-                     nbytes=self.params.psm.ctrl_bytes, payload=rts)
+                     nbytes=self.params.psm.ctrl_bytes, payload=rts,
+                     csum=csum)
         yield from self.hfi.pio_send(pkt)
         self.tracer.count("psm.rndv_sends")
+        if FAULTS.enabled:
+            self.sim.process(self._rts_watchdog(flow, pkt))
         return req
 
     def mq_send(self, dest: EndpointAddress, tag, buffer: int, nbytes: int,
@@ -153,8 +199,30 @@ class Endpoint:
     # -- packet demux (called at wire arrival) ----------------------------------------
 
     def _rx_packet(self, pkt: Packet) -> None:
+        if FAULTS.enabled and pkt.csum is not None:
+            if pkt.csum != packet_checksum(pkt.kind, pkt.tag, pkt.nbytes,
+                                           pkt.seq, pkt.payload):
+                # Bit flip in flight: drop like a failed link CRC; the
+                # sender-side watchdogs retransmit.  For expected data,
+                # remember the corruption so exhaustion raises the
+                # corruption error, not a generic timeout.
+                self.tracer.count("psm.corrupt_drops")
+                if pkt.kind == "expected":
+                    _, msg_id, _w = pkt.tag
+                    flow = self._recv_flows.get(msg_id)
+                    if flow is not None:
+                        flow.corrupt_seen += 1
+                return
         if pkt.kind == "eager":
             _, src, tag = pkt.tag
+            if FAULTS.enabled and pkt.seq is not None:
+                # ACK every copy (the first ACK may itself be lost), but
+                # deliver each sequence number once.
+                self.sim.process(self._send_ack(pkt, src))
+                if pkt.seq in self._seen_eager:
+                    self.tracer.count("psm.dup_eager")
+                    return
+                self._seen_eager.add(pkt.seq)
             req = self.mq.match_arrival(src, tag)
             if req is not None:
                 self.sim.process(self._eager_deliver(
@@ -163,8 +231,21 @@ class Endpoint:
                 self.mq.add_unexpected(UnexpectedMessage(
                     src, tag, pkt.nbytes, payload=pkt.payload))
                 self.tracer.count("psm.unexpected")
+        elif pkt.kind == "ack":
+            entry = self._pending_eager.pop(pkt.payload, None)
+            if entry is None:
+                self.tracer.count("psm.dup_acks")
+                return
+            if not entry["req"].done:
+                entry["req"].complete(self.addr, entry["tag"],
+                                      entry["nbytes"])
         elif pkt.kind == "rts":
             rts: Rts = pkt.payload
+            if FAULTS.enabled:
+                if rts.msg_id in self._seen_rts:
+                    self.tracer.count("psm.dup_rts")
+                    return
+                self._seen_rts.add(rts.msg_id)
             req = self.mq.match_arrival(rts.source, rts.tag)
             if req is not None:
                 self._start_recv_flow(rts, req, req.buffer)
@@ -174,6 +255,9 @@ class Endpoint:
                 self.tracer.count("psm.unexpected")
         elif pkt.kind == "cts":
             cts: Cts = pkt.payload
+            flow = self._send_flows.get(cts.msg_id)
+            if flow is not None:
+                flow.cts_seen += 1
             self.tx.submit(self._send_window(cts))
         elif pkt.kind == "expected":
             _, msg_id, widx = pkt.tag
@@ -195,6 +279,101 @@ class Endpoint:
         lag = max(0.0, nbytes * (1.0 / copy_bw - 1.0 / link_bw))
         yield self.sim.timeout(self.params.psm.mq_overhead + tail + lag)
         req.complete(src, tag, nbytes, payload)
+
+    # -- reliability daemons (active only under fault injection) ---------------------------
+
+    def _send_ack(self, pkt: Packet, src: EndpointAddress):
+        """Generator: ACK one sequence-numbered eager packet."""
+        nbytes = self.params.psm.ctrl_bytes
+        ack = Packet(kind="ack", src_node=self.addr.node_id,
+                     dst_node=src.node_id, dst_ctxt=src.ctxt_id,
+                     nbytes=nbytes, payload=pkt.seq,
+                     csum=packet_checksum("ack", None, nbytes, None,
+                                          pkt.seq))
+        yield from self.hfi.pio_send(ack)
+
+    def _eager_watchdog(self, seq):
+        """Retransmit an un-ACKed eager send with exponential backoff;
+        fail the request with :class:`DeviceTimeout` when the bounded
+        budget is exhausted."""
+        psm = self.params.psm
+        timeout = psm.retry_timeout
+        for _ in range(psm.max_retries):
+            yield self.sim.timeout(timeout)
+            entry = self._pending_eager.get(seq)
+            if entry is None:
+                return
+            self.tracer.count("psm.retransmits")
+            if entry["via"] == "pio":
+                yield from self.hfi.pio_send(entry["pkt"])
+            else:
+                yield from self.task.syscall(
+                    "writev", self.fd,
+                    [dict(entry["meta"]), (entry["buffer"],
+                                           entry["nbytes"])])
+            timeout *= psm.retry_backoff
+        entry = self._pending_eager.pop(seq, None)
+        if entry is not None and not entry["req"].done:
+            self.tracer.count("psm.send_failures")
+            entry["req"].event.fail(DeviceTimeout(
+                f"eager send {seq} unacknowledged after "
+                f"{psm.max_retries} retransmits"))
+
+    def _rts_watchdog(self, flow: SendFlow, pkt: Packet):
+        """Retransmit an unanswered RTS; once any CTS arrives the
+        receiver's per-window watchdogs own further recovery."""
+        psm = self.params.psm
+        timeout = psm.retry_timeout
+        for _ in range(psm.max_retries):
+            yield self.sim.timeout(timeout)
+            if (flow.cts_seen or flow.finished
+                    or flow.msg_id not in self._send_flows):
+                return
+            self.tracer.count("psm.retransmits")
+            yield from self.hfi.pio_send(pkt)
+            timeout *= psm.retry_backoff
+        if (flow.cts_seen or flow.finished
+                or flow.msg_id not in self._send_flows):
+            return
+        self._send_flows.pop(flow.msg_id, None)
+        self.tracer.count("psm.send_failures")
+        flow.request.event.fail(DeviceTimeout(
+            f"RTS for {flow.msg_id} unanswered after "
+            f"{psm.max_retries} retransmits"))
+
+    def _cts_watchdog(self, flow: RecvFlow, w: int, pkt: Packet):
+        """Re-grant a window whose data never landed (lost/corrupt CTS
+        or data).  The CTS carries the same TIDs, so a duplicate data
+        packet from an earlier grant places harmlessly and is deduped."""
+        psm = self.params.psm
+        timeout = psm.retry_timeout
+        msg_id = flow.rts.msg_id
+        for _ in range(psm.max_retries):
+            yield self.sim.timeout(timeout)
+            if (w in flow.arrived_windows
+                    or msg_id not in self._recv_flows):
+                return
+            self.tracer.count("psm.retransmits")
+            self.tracer.count("psm.cts_resends")
+            yield from self.hfi.pio_send(pkt)
+            timeout *= psm.retry_backoff
+        if w in flow.arrived_windows or msg_id not in self._recv_flows:
+            return
+        if flow.corrupt_seen:
+            exc = TransferCorrupt(
+                f"window {w} of {msg_id} corrupt after "
+                f"{psm.max_retries} retransmits")
+        else:
+            exc = DeviceTimeout(
+                f"window {w} of {msg_id} never arrived after "
+                f"{psm.max_retries} retransmits")
+        self._fail_recv_flow(flow, exc)
+
+    def _fail_recv_flow(self, flow: RecvFlow, exc: ReproError) -> None:
+        if self._recv_flows.pop(flow.rts.msg_id, None) is None:
+            return
+        self.tracer.count("psm.recv_failures")
+        flow.request.event.fail(exc)
 
     # -- rendezvous receive side -------------------------------------------------------------
 
@@ -222,31 +401,65 @@ class Endpoint:
         self.rx.submit(self._register_window(flow, w))
 
     def _register_window(self, flow: RecvFlow, w: int):
-        """rx-worker job: TID_UPDATE + CTS for window ``w``."""
+        """rx-worker job: TID_UPDATE + CTS for window ``w``.
+
+        Transient TID_UPDATE failures are retried with backoff *inside*
+        the job so the shared rx worker survives them; exhaustion fails
+        the flow's request instead of raising."""
         offset, length = window_extent(flow.rts.total,
                                        self.params.psm.window_size, w)
         yield self.sim.timeout(self.params.psm.rndv_window_overhead)
-        tids = yield from self.task.syscall(
-            "ioctl", self.fd, ioc.HFI1_IOCTL_TID_UPDATE,
-            {"vaddr": flow.buffer + offset, "length": length})
+        psm = self.params.psm
+        attempts = 0
+        while True:
+            try:
+                tids = yield from self.task.syscall(
+                    "ioctl", self.fd, ioc.HFI1_IOCTL_TID_UPDATE,
+                    {"vaddr": flow.buffer + offset, "length": length})
+                break
+            except TransientDeviceError as exc:
+                attempts += 1
+                self.tracer.count("psm.tid_retries")
+                if attempts >= psm.max_retries:
+                    self._fail_recv_flow(flow, DeviceTimeout(
+                        f"TID_UPDATE for {flow.rts.msg_id} window {w} "
+                        f"kept failing: {exc}"))
+                    return
+                yield self.sim.timeout(
+                    psm.retry_timeout * psm.retry_backoff ** (attempts - 1))
         flow.tids_by_window[w] = tuple(tids)
         self.tracer.record("psm.tids_per_window", len(tids))
         cts = Cts(flow.rts.msg_id, w, offset, length, tuple(tids), self.addr)
+        csum = (packet_checksum("cts", None, self.params.psm.ctrl_bytes,
+                                None, cts) if FAULTS.enabled else None)
         pkt = Packet(kind="cts", src_node=self.addr.node_id,
                      dst_node=flow.rts.source.node_id,
                      dst_ctxt=flow.rts.source.ctxt_id,
-                     nbytes=self.params.psm.ctrl_bytes, payload=cts)
+                     nbytes=self.params.psm.ctrl_bytes, payload=cts,
+                     csum=csum)
         yield from self.hfi.pio_send(pkt)
+        if FAULTS.enabled:
+            self.sim.process(self._cts_watchdog(flow, w, pkt))
 
     def _window_arrived(self, msg_id: Tuple, widx: int) -> None:
         flow = self._recv_flows.get(msg_id)
         if flow is None:
+            # Under fault injection a retransmitted window can land after
+            # its flow completed or failed; elsewhere it is a protocol bug.
+            if FAULTS.enabled:
+                self.tracer.count("psm.dup_window")
+                return
             raise ReproError(f"expected data for unknown message {msg_id}")
+        if FAULTS.enabled and widx in flow.arrived_windows:
+            self.tracer.count("psm.dup_window")
+            return
+        flow.arrived_windows.add(widx)
         flow.arrived += 1
-        tids = flow.tids_by_window.pop(widx)
+        tids = flow.tids_by_window.pop(widx, None)
         # TID_FREE is deferred off the critical path but still serializes
         # with upcoming registrations on the progress worker
-        self.rx.submit(self._free_tids(tids))
+        if tids is not None:
+            self.rx.submit(self._free_tids(tids))
         self._register_next(flow)
         if flow.all_arrived():
             del self._recv_flows[msg_id]
@@ -263,18 +476,35 @@ class Endpoint:
         """tx-worker job: SDMA writev for one granted window."""
         flow = self._send_flows.get(cts.msg_id)
         if flow is None:
+            # A re-granted CTS can outlive its sender flow (the flow
+            # failed on RTS exhaustion); only a bug in fault-free runs.
+            if FAULTS.enabled:
+                self.tracer.count("psm.stale_cts")
+                return
             raise ReproError(f"CTS for unknown message {cts.msg_id}")
         done = Event(self.sim)
         meta = {"dst_node": cts.dest.node_id, "dst_ctxt": cts.dest.ctxt_id,
                 "kind": "expected", "tids": cts.tids,
                 "tag": ("win", cts.msg_id, cts.window), "completion": done}
+        if FAULTS.enabled:
+            meta["csum"] = packet_checksum(
+                "expected", ("win", cts.msg_id, cts.window), cts.length,
+                None, None)
         yield from self.task.syscall(
             "writev", self.fd,
             [meta, (flow.buffer + cts.offset, cts.length)])
         flow.submitted += 1
-        done.add_callback(lambda _e: self._sdma_complete(flow))
+        done.add_callback(
+            lambda _e: self._sdma_complete(flow, cts.window))
 
-    def _sdma_complete(self, flow: SendFlow) -> None:
-        if flow.window_complete():
+    def _sdma_complete(self, flow: SendFlow, window: int) -> None:
+        if not flow.window_complete(window):
+            return
+        if flow.finished:
+            return
+        flow.finished = True
+        # Under fault injection the flow stays registered so a receiver's
+        # late re-CTS can still be answered with a fresh submission.
+        if not FAULTS.enabled:
             del self._send_flows[flow.msg_id]
-            flow.request.complete(self.addr, None, flow.total)
+        flow.request.complete(self.addr, None, flow.total)

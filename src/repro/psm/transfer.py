@@ -20,10 +20,23 @@ to the LWK.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Set, Tuple
 
 from ..errors import ReproError
+
+
+def packet_checksum(kind: str, tag: object, nbytes: int, seq: object,
+                    payload: object) -> int:
+    """Deterministic integrity checksum over a packet's logical content.
+
+    Computed by the sender when fault injection is active and verified
+    by the receiver before the packet enters protocol processing; the
+    fabric's corruption fault perturbs the stored value, modeling bit
+    flips in flight.
+    """
+    return zlib.crc32(repr((kind, tag, nbytes, seq, payload)).encode())
 
 
 @dataclass(frozen=True)
@@ -75,9 +88,26 @@ class SendFlow:
     request: object                  # MqRequest to complete
     sdma_done: int = 0
     submitted: int = 0
+    #: windows whose SDMA completed at least once (re-CTS resubmissions
+    #: under fault injection complete the same window twice)
+    done_windows: Set[int] = field(default_factory=set)
+    #: CTS packets seen (any window) — quiesces the sender's RTS watchdog
+    cts_seen: int = 0
+    #: all windows done and the send request completed
+    finished: bool = False
 
-    def window_complete(self) -> bool:
-        """Account one SDMA completion; True when the message is done."""
+    def window_complete(self, window: int = None) -> bool:
+        """Account one SDMA completion; True when the message is done.
+
+        With a ``window`` index, completions are deduplicated so a
+        window retransmitted on a receiver's re-CTS is not counted
+        twice.  Without one (legacy callers), completions are counted
+        blindly and overcounting raises.
+        """
+        if window is not None:
+            self.done_windows.add(window)
+            self.sdma_done = len(self.done_windows)
+            return self.sdma_done == self.windows
         self.sdma_done += 1
         if self.sdma_done > self.windows:
             raise ReproError(f"msg {self.msg_id}: too many completions")
@@ -95,6 +125,11 @@ class RecvFlow:
     next_register: int = 0
     arrived: int = 0
     tids_by_window: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+    #: windows placed at least once (dedups re-CTS-triggered duplicates)
+    arrived_windows: Set[int] = field(default_factory=set)
+    #: corrupted expected-data packets seen (picks the typed error when
+    #: the retransmit budget runs out)
+    corrupt_seen: int = 0
 
     def all_arrived(self) -> bool:
         """True once every window has been placed."""

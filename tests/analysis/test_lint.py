@@ -1,4 +1,4 @@
-"""Tests for the PicoDriver protocol lint (PD001-PD006).
+"""Tests for the PicoDriver protocol lint (PD001-PD007).
 
 Each rule gets a violation fixture and a compliant twin; the suite also
 pins the suppression syntax and — the acceptance bar — that the shipped
@@ -223,6 +223,62 @@ def test_pd006_slow_path_may_take_page_refs():
                 return self.mm.get_user_pages(vaddr, length)
         """)
     assert findings == []
+
+
+# --- PD007 fault-hook gating -------------------------------------------------
+
+def test_pd007_unguarded_fires():
+    findings = lint("""\
+        def transmit(self, packet):
+            if self.injector.fires("fabric.drop"):
+                return
+        """)
+    assert codes(findings) == ["PD007"]
+    assert "self.injector.fires" in findings[0].message
+
+
+def test_pd007_boolop_guard_idiom_is_clean():
+    """The hooks' actual shape: FAULTS appears earlier in the same
+    ``and`` chain as the draw."""
+    findings = lint("""\
+        def transmit(self, packet):
+            inj = self.injector
+            if FAULTS.enabled and inj is not None and inj.fires("fabric.drop"):
+                return
+        """)
+    assert findings == []
+
+
+def test_pd007_enclosing_if_guard_is_clean():
+    findings = lint("""\
+        def submit(self):
+            if config.FAULTS.enabled:
+                if self.inj.fires("sdma.desc_error"):
+                    self.halt("boom")
+        """)
+    assert findings == []
+
+
+def test_pd007_else_branch_is_not_guarded():
+    findings = lint("""\
+        def submit(self):
+            if FAULTS.enabled:
+                pass
+            else:
+                self.inj.fires("irq.lost")
+        """)
+    assert codes(findings) == ["PD007"]
+
+
+def test_pd007_fires_before_the_faults_operand_is_flagged():
+    """Short-circuit order matters: the draw must come after the FAULTS
+    check, or disabled runs still consume RNG numbers."""
+    findings = lint("""\
+        def f(self):
+            if self.inj.fires("irq.lost") and FAULTS.enabled:
+                return
+        """)
+    assert codes(findings) == ["PD007"]
 
 
 # --- suppression -------------------------------------------------------------

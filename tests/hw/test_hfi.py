@@ -186,6 +186,39 @@ def test_packets_without_handler_queue_up():
     assert len(ctxt.eager_backlog) == 1
 
 
+def test_backlog_drains_in_order_when_handler_installed():
+    """Early arrivals must reach the handler the moment it appears,
+    not sit stranded in the backlog forever."""
+    sim, params, fabric, a, b = make_pair()
+    ctxt = b.alloc_context("rx")
+    b.receive(eager_packet(KiB, ctxt))
+    b.receive(eager_packet(2 * KiB, ctxt))
+    got = []
+    ctxt.on_packet = lambda pkt: got.append(pkt.nbytes)
+    assert got == [KiB, 2 * KiB]
+    assert not ctxt.eager_backlog
+    b.receive(eager_packet(4 * KiB, ctxt))
+    assert got == [KiB, 2 * KiB, 4 * KiB]
+
+
+def test_free_context_with_inflight_sdma_group_raises():
+    """Freeing a context while an SDMA group targeting it still sits in
+    an engine ring must fail loudly instead of stranding the packets."""
+    sim, params, fabric, a, b = make_pair()
+    ctxt = a.alloc_context("rx")
+    group = SdmaRequestGroup(
+        descriptors=[SdmaDescriptor(0, KiB)],
+        packet=Packet(kind="eager", src_node=1, dst_node=0,
+                      dst_ctxt=ctxt.ctxt_id, nbytes=KiB))
+    a.engines[0]._ring.append((group.descriptors[0], group, True))
+    with pytest.raises(DriverError) as excinfo:
+        a.free_context(ctxt)
+    assert "in flight" in str(excinfo.value)
+    assert a.tracer.get_count("hfi.free_ctxt_inflight") == 1
+    a.engines[0]._ring.clear()
+    a.free_context(ctxt)  # quiesced: now succeeds
+
+
 def test_fabric_rejects_unknown_node_and_double_attach():
     sim, params, fabric, a, b = make_pair()
     with pytest.raises(ReproError):

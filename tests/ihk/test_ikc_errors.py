@@ -1,0 +1,68 @@
+"""IKC error propagation: a Linux-side exception must fail the caller's
+completion event (``done.fail``) and leave the channel healthy."""
+
+from repro.config import OSConfig
+from repro.errors import ReproError
+from repro.experiments import build_machine
+
+
+def test_linux_exception_fails_the_ikc_completion_event():
+    """The error raised inside the Linux syscall handler surfaces in the
+    LWK caller's process, through the failed ``done`` event."""
+    machine = build_machine(1, OSConfig.MCKERNEL)
+    mck = machine.nodes[0].mckernel
+    task = machine.spawn_rank(0, 0)
+    proxy_task = mck.proxy_for(task).linux_task
+
+    def bad():
+        yield from mck.ikc.call(proxy_task, "ioctl", (999, 0, {}))
+
+    proc = machine.sim.process(bad())
+    machine.sim.run()
+    assert isinstance(proc.exception, ReproError)
+    assert mck.ikc.inflight == 0
+
+
+def test_channel_serves_calls_after_a_failure():
+    machine = build_machine(1, OSConfig.MCKERNEL)
+    mck = machine.nodes[0].mckernel
+    task = machine.spawn_rank(0, 0)
+    proxy_task = mck.proxy_for(task).linux_task
+
+    def bad():
+        yield from mck.ikc.call(proxy_task, "ioctl", (999, 0, {}))
+
+    def good():
+        fd = yield from mck.ikc.call(proxy_task, "open", ("/dev/hfi1_0",))
+        return fd
+
+    bad_proc = machine.sim.process(bad())
+    machine.sim.run()
+    assert bad_proc.exception is not None
+    good_proc = machine.sim.process(good())
+    machine.sim.run()
+    assert good_proc.ok
+    assert mck.ikc.inflight == 0
+
+
+def test_concurrent_failure_does_not_wedge_other_callers():
+    """A failing call and a healthy call in flight together: each gets
+    its own completion, and accounting returns to zero."""
+    machine = build_machine(1, OSConfig.MCKERNEL)
+    mck = machine.nodes[0].mckernel
+    task = machine.spawn_rank(0, 0)
+    proxy_task = mck.proxy_for(task).linux_task
+
+    def bad():
+        yield from mck.ikc.call(proxy_task, "ioctl", (999, 0, {}))
+
+    def good():
+        ret = yield from mck.ikc.call(proxy_task, "nanosleep", (1e-6,))
+        return ret
+
+    bad_proc = machine.sim.process(bad())
+    good_proc = machine.sim.process(good())
+    machine.sim.run()
+    assert bad_proc.exception is not None
+    assert good_proc.ok
+    assert mck.ikc.inflight == 0
