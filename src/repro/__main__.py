@@ -7,6 +7,8 @@
     python -m repro all
     python -m repro lint          # PicoDriver protocol lint (PD001...)
     python -m repro sanitize fig4 # re-run with the KSan race detector
+    python -m repro lockdep fig4  # re-run with the deadlock validator
+    python -m repro lockgraph     # static lock-class graph (--dot)
     python -m repro chaos         # fault-injection sweep (--smoke for CI)
 """
 
@@ -109,7 +111,8 @@ def main(argv=None) -> int:
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
         print("commands:", ", ".join([*COMMANDS, "all", "dwarf", "lint",
-                                      "sanitize", "chaos"]))
+                                      "sanitize", "lockdep", "lockgraph",
+                                      "chaos"]))
         return 0
     name = argv[0]
     if name == "dwarf":
@@ -120,6 +123,12 @@ def main(argv=None) -> int:
     if name == "sanitize":
         from .analysis.cli import cmd_sanitize
         return cmd_sanitize(argv[1:], COMMANDS)
+    if name == "lockdep":
+        from .analysis.cli import cmd_lockdep
+        return cmd_lockdep(argv[1:], COMMANDS)
+    if name == "lockgraph":
+        from .analysis.cli import cmd_lockgraph
+        return cmd_lockgraph(argv[1:])
     if name == "chaos":
         from .experiments.chaos import cmd_chaos
         return cmd_chaos(argv[1:])

@@ -15,15 +15,29 @@ concurrently mutating the same Linux driver state (section 3.3):
   (``python -m repro lint``, stdlib ``ast`` only) enforcing the
   PicoDriver protocol: fast-path purity, lock discipline, sim-process
   hygiene, layout-version guards and raw-heap-access confinement
-  (rules PD001...PD006, per-line ``# pd-ignore`` suppression).
+  (rules PD001...PD009 + PD100, per-line ``# pd-ignore`` suppression).
+
+* :mod:`repro.analysis.lockdep` — "PicoLockdep", cross-kernel
+  lock-order analysis.  A runtime validator
+  (``repro.config.ANALYSIS.lockdep`` or ``python -m repro lockdep``)
+  builds the observed lock-class dependency graph and reports order
+  cycles, declared-hierarchy violations, IRQ inversions and timed
+  waits inside critical sections; a static ``ast`` twin
+  (``python -m repro lockgraph``, lint rules PD008/PD009) extracts the
+  compile-time graph the dynamic edges are checked against.
 """
 
 from .ksan import (ACTIVE_DETECTORS, HeapAccess, RaceDetector, RaceReport,
                    active_race_reports, reset_active_detectors)
 from .lint import Finding, RULES, lint_paths, lint_source
+from .lockdep import (ACTIVE_VALIDATORS, LockdepReport, LockdepValidator,
+                      LockGraph, active_lockdep_reports,
+                      build_static_lock_graph, reset_active_validators)
 
 __all__ = [
-    "ACTIVE_DETECTORS", "Finding", "HeapAccess", "RULES", "RaceDetector",
-    "RaceReport", "active_race_reports", "lint_paths", "lint_source",
-    "reset_active_detectors",
+    "ACTIVE_DETECTORS", "ACTIVE_VALIDATORS", "Finding", "HeapAccess",
+    "LockGraph", "LockdepReport", "LockdepValidator", "RULES",
+    "RaceDetector", "RaceReport", "active_lockdep_reports",
+    "active_race_reports", "build_static_lock_graph", "lint_paths",
+    "lint_source", "reset_active_detectors", "reset_active_validators",
 ]

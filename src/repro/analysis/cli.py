@@ -8,6 +8,19 @@
     Re-run one or more of the paper's experiments with the KSan race
     detector installed on every node's shared kernel heap, then print
     each detector's verdict.  Exit status 1 if any race was found.
+
+``python -m repro lockdep <experiment> [<experiment>...]``
+    Re-run experiments (plus the ``chaos`` smoke sweep) with the
+    lockdep validator installed, print every lock-order hazard, and
+    cross-check the run: every dynamically observed lock dependency
+    must appear in the static lock graph.  Exit status 1 on hazards or
+    on a dynamic edge the static pass missed.
+
+``python -m repro lockgraph [--dot] [paths...]``
+    Extract the compile-time lock-class graph (default target: the
+    installed ``repro`` tree).  ``--dot`` emits Graphviz for the CI
+    artifact.  Exit status 1 on cycles, hierarchy violations, or
+    PD008/PD009 findings.
 """
 
 from __future__ import annotations
@@ -16,6 +29,7 @@ from typing import Callable, Dict, List
 
 from .. import config
 from . import ksan
+from . import lockdep as lockdep_mod
 from .lint import default_lint_root, lint_paths, rules_table
 
 
@@ -78,4 +92,100 @@ def cmd_sanitize(argv: List[str],
         print(f"\nKSan: {len(reports)} cross-kernel race(s) detected")
         return 1
     print("KSan: no cross-kernel races detected")
+    return 0
+
+
+def _chaos_smoke() -> str:
+    """The ``chaos`` pseudo-experiment of ``python -m repro lockdep``:
+    the fault-injection smoke sweep, which exercises the IRQ-recovery
+    and error paths the figure experiments never reach."""
+    from ..experiments.chaos import run_chaos
+    return run_chaos("pingpong", smoke=True).render()
+
+
+def cmd_lockdep(argv: List[str],
+                commands: Dict[str, Callable[[], str]]) -> int:
+    """Entry point for ``python -m repro lockdep``.
+
+    Re-runs the named experiments with ``ANALYSIS.lockdep`` enabled so
+    every machine installs a
+    :class:`~repro.analysis.lockdep.LockdepValidator`, then verifies
+    dynamic/static consistency: a dependency edge observed at runtime
+    that the static pass cannot see means the static view lies.
+    """
+    table = dict(commands)
+    table.setdefault("chaos", _chaos_smoke)
+    if not argv:
+        print("usage: python -m repro lockdep <experiment> [...]\n"
+              f"experiments: {', '.join(table)}")
+        return 2
+    unknown = [name for name in argv if name not in table]
+    if unknown:
+        print(f"unknown experiment(s) {', '.join(unknown)}; choose from "
+              f"{', '.join(table)}")
+        return 2
+    lockdep_mod.reset_active_validators()
+    previous = config.ANALYSIS.lockdep
+    config.ANALYSIS.lockdep = True
+    try:
+        for name in argv:
+            print(f"== lockdep {name} ==")
+            print(table[name]())
+    finally:
+        config.ANALYSIS.lockdep = previous
+    print("\n== lockdep verdict ==")
+    for validator in lockdep_mod.ACTIVE_VALIDATORS:
+        print(validator.summary())
+    reports = lockdep_mod.active_lockdep_reports()
+    for report in reports:
+        print()
+        print(report.render())
+    graph, _findings = lockdep_mod.build_static_lock_graph()
+    missing = [edge for key, edge
+               in sorted(lockdep_mod.active_dynamic_edges().items())
+               if not graph.has_edge(*key)]
+    if missing:
+        print("\ndynamic edges missing from the static lock graph "
+              "(the static pass is blind to them):")
+        for edge in missing:
+            for line in edge.describe():
+                print(f"  {line}")
+    if reports or missing:
+        print(f"\nlockdep: {len(reports)} hazard(s), "
+              f"{len(missing)} unexplained dynamic edge(s)")
+        return 1
+    print("lockdep: no lock-order hazards; every dynamic dependency "
+          "edge is in the static graph")
+    return 0
+
+
+def cmd_lockgraph(argv: List[str]) -> int:
+    """Entry point for ``python -m repro lockgraph``."""
+    want_dot = "--dot" in argv
+    unknown = [a for a in argv if a.startswith("-") and a != "--dot"]
+    if unknown:
+        print(f"unknown option(s) {', '.join(unknown)}\n"
+              "usage: python -m repro lockgraph [--dot] [paths...]")
+        return 2
+    paths = [a for a in argv if not a.startswith("-")]
+    graph, findings = lockdep_mod.build_static_lock_graph(paths or None)
+    bad = (bool(findings) or bool(graph.cycles())
+           or bool(graph.hierarchy_violations()))
+    if want_dot:
+        print(graph.to_dot())
+        return 1 if bad else 0
+    from ..core.lockclasses import REGISTRY
+    print("declared hierarchy:")
+    print(REGISTRY.hierarchy_table())
+    print()
+    print(graph.render())
+    for finding in findings:
+        print(finding.render())
+    if bad:
+        print(f"lockgraph: {len(findings)} finding(s), "
+              f"{len(graph.cycles())} cycle(s), "
+              f"{len(graph.hierarchy_violations())} hierarchy "
+              f"violation(s)")
+        return 1
+    print("lockgraph: acyclic and hierarchy-clean")
     return 0

@@ -29,6 +29,14 @@ PD006    pinned-memory discipline: no ``get_user_pages`` reachable from
 PD007    fault-hook gating: every fault-injection draw (``*.fires(...)``)
          sits behind a ``config.FAULTS`` check, so zero-fault runs stay
          branch-cheap and bit-identical
+PD008    lock-order hierarchy: nested ``acquire`` must follow the
+         rank-increasing order declared in ``repro.core.lockclasses``
+         (checked by the static half of :mod:`repro.analysis.lockdep`)
+PD009    no timed wait in a critical section: no ``yield *.timeout/
+         wait(...)`` while a cross-kernel lock is held — the peer
+         kernel spins on the lock word for the whole wait
+PD100    unused suppression: a ``# pd-ignore`` comment that suppresses
+         nothing (rots silently and hides future real findings)
 =======  ==============================================================
 
 Per-line suppression: append ``# pd-ignore`` (all rules) or
@@ -38,8 +46,10 @@ Per-line suppression: append ``# pd-ignore`` (all rules) or
 from __future__ import annotations
 
 import ast
+import io
 import os
 import re
+import tokenize
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
@@ -71,6 +81,17 @@ RULES: Dict[str, Tuple[str, str]] = {
               "guard the injector draw with 'if FAULTS.enabled and "
               "inj is not None and inj.fires(...)' so disabled runs "
               "never touch the fault RNG"),
+    "PD008": ("lock-order hierarchy",
+              "acquire lock classes in the rank-increasing order "
+              "declared in repro.core.lockclasses (take the lower rank "
+              "first), or fix the declaration if the order is right"),
+    "PD009": ("no timed wait in critical section",
+              "release the cross-kernel lock before yielding the timed "
+              "wait; the peer kernel spins on the lock word until the "
+              "wait elapses"),
+    "PD100": ("unused suppression",
+              "delete the stale '# pd-ignore' comment (or narrow its "
+              "rule list to the codes actually found on the line)"),
 }
 
 #: call names that mark the offloading / syscall-dispatch machinery
@@ -412,8 +433,16 @@ def lint_source(source: str, path: str = "<string>") -> List[Finding]:
     _check_lock_discipline(path, tree, findings)
     _check_raw_heap(path, tree, findings)
     _check_fault_gating(path, tree, findings)
+    # PD008/PD009 live in the lockdep module (they share its static
+    # lock-graph walker); imported here to keep lint importable from it
+    from .lockdep import check_lock_order
+    check_lock_order(path, tree, findings)
     lines = source.splitlines()
     kept = [f for f in findings if not _suppressed(lines, f)]
+    # PD100 is judged against the *pre*-suppression findings and added
+    # after filtering, so an unused-suppression report cannot suppress
+    # itself
+    kept.extend(_unused_suppressions(path, source, findings))
     return sorted(kept, key=lambda f: (f.path, f.line, f.col, f.code))
 
 
@@ -428,6 +457,56 @@ def _suppressed(lines: Sequence[str], finding: Finding) -> bool:
     if codes is None:
         return True
     return finding.code in {c.strip() for c in codes.split(",") if c.strip()}
+
+
+def _unused_suppressions(path: str, source: str,
+                         findings: List[Finding]) -> List[Finding]:
+    """PD100: ``# pd-ignore`` comments that suppress nothing.
+
+    A bare ignore on a line with no findings, or a targeted ignore
+    listing codes none of which were found on that line, is dead weight:
+    it documents a violation that no longer exists and will silently
+    swallow the next real one.  Only genuine COMMENT tokens count — a
+    ``pd-ignore`` mentioned inside a docstring is prose, not a
+    suppression.
+    """
+    by_line: Dict[int, Set[str]] = {}
+    for finding in findings:
+        by_line.setdefault(finding.line, set()).add(finding.code)
+    out: List[Finding] = []
+    for lineno, col, comment in _comment_tokens(source):
+        match = _IGNORE_RE.search(comment)
+        if match is None:
+            continue
+        found = by_line.get(lineno, set())
+        codes = match.group(1)
+        if codes is None:
+            if not found:
+                out.append(Finding(
+                    path, lineno, col + match.start(), "PD100",
+                    "blanket '# pd-ignore' suppresses nothing on this "
+                    "line"))
+            continue
+        listed = {c.strip() for c in codes.split(",") if c.strip()}
+        stale = sorted(listed - found)
+        if stale:
+            out.append(Finding(
+                path, lineno, col + match.start(), "PD100",
+                f"'# pd-ignore[{', '.join(stale)}]' suppresses nothing: "
+                f"no such finding on this line"))
+    return out
+
+
+def _comment_tokens(source: str) -> List[Tuple[int, int, str]]:
+    """(line, col, text) for every comment token in ``source``."""
+    out: List[Tuple[int, int, str]] = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                out.append((tok.start[0], tok.start[1], tok.string))
+    except (tokenize.TokenError, IndentationError):
+        pass  # lint_source already reported the parse problem
+    return out
 
 
 def iter_python_files(paths: Iterable[str]) -> List[str]:

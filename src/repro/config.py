@@ -16,9 +16,16 @@ class AnalysisConfig:
     :class:`~repro.analysis.ksan.RaceDetector` on each node's shared
     kernel heap.  Off by default: the hooks cost a branch per heap
     access and the experiments' numbers must not depend on them.
+
+    ``lockdep`` likewise installs a
+    :class:`~repro.analysis.lockdep.LockdepValidator` per machine
+    (as a heap monitor on every node plus the simulator's wait
+    observer), checking lock-class acquisition order, IRQ context and
+    held-across-wait hazards.  Off by default for the same reason.
     """
 
     race_detection: bool = False
+    lockdep: bool = False
 
 
 #: the process-wide analysis configuration (mutated by
@@ -29,6 +36,11 @@ ANALYSIS = AnalysisConfig()
 def enable_race_detection(enabled: bool = True) -> None:
     """Toggle KSan installation for machines built after this call."""
     ANALYSIS.race_detection = enabled
+
+
+def enable_lockdep(enabled: bool = True) -> None:
+    """Toggle lockdep installation for machines built after this call."""
+    ANALYSIS.lockdep = enabled
 
 
 @dataclass

@@ -18,7 +18,7 @@ it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Tuple
 
 from ..errors import DwarfError
 from .structs import CStructDef, CType
@@ -144,17 +144,29 @@ def emit_dwarf(structs: List[CStructDef], producer: str = "simcc 1.0",
         unit.children.append(die)
         return die
 
+    # Array types are interned like element types: two fields of type
+    # u64[16] share one DW_TAG_array_type DIE (as real compilers emit),
+    # instead of minting a fresh DIE + subrange per field.
+    array_dies: Dict[Tuple[str, int], DwarfDie] = {}
+
+    def array_die_for(elem: CType, count: int) -> DwarfDie:
+        key = (elem.name, count)
+        if key in array_dies:
+            return array_dies[key]
+        arr = DwarfDie(DW_TAG_array_type, {DW_AT_type: type_die_for(elem)},
+                       children=[DwarfDie(DW_TAG_subrange_type,
+                                          {DW_AT_upper_bound: count - 1})])
+        array_dies[key] = arr
+        unit.children.append(arr)
+        return arr
+
     for sdef in structs:
         sdie = DwarfDie(DW_TAG_structure_type,
                         {DW_AT_name: sdef.name, DW_AT_byte_size: sdef.size})
         for f in sdef.fields:
             elem_die = type_die_for(f.elem)
             if f.count > 1:
-                arr = DwarfDie(DW_TAG_array_type, {DW_AT_type: elem_die},
-                               children=[DwarfDie(DW_TAG_subrange_type,
-                                                  {DW_AT_upper_bound: f.count - 1})])
-                unit.children.append(arr)
-                tdie = arr
+                tdie = array_die_for(f.elem, f.count)
             else:
                 tdie = elem_die
             sdie.children.append(DwarfDie(

@@ -40,7 +40,13 @@ from ..linux.hfi1.driver import Hfi1Driver
 from ..linux.hfi1.sdma import build_descs_from_spans, split_spans_for_tids
 from .callbacks import CallbackRegistry
 from .extract import ExtractedLayout, StructView, dwarf_extract_struct
+from .lockclasses import declare_lock_use
 from .picodriver import FastPathDecision, PicoDriver
+
+# the fast path takes the Linux driver's submit lock (declared with its
+# rank in linux/hfi1/driver.py) without owning it — exactly the
+# cross-kernel sharing the lockdep hierarchy exists to police
+declare_lock_use("hfi1.sdma_submit", "core/hfi_pico")
 
 #: (struct, fields) the fast path needs — note how small a slice of the
 #: driver's state this is (section 3.2: "in most cases we only need a
@@ -188,18 +194,23 @@ class HFIPicoDriver(PicoDriver):
             user_ctx={"completion": meta.get("completion"),
                       "pq_addr": fdata.get("pq")})
         yield from self.linux_driver.sdma_lock.acquire("mckernel", lwk.aspace)
+        submit_exc: Optional[DriverError] = None
         try:
             yield from engine.submit(group)
         except DriverError as exc:
-            # Undo our bookkeeping and let the slow path redo the whole
-            # call; no completion will fire for a rejected submit.
+            # A rejected submit fires no completion; record it and fall
+            # through — the undo bookkeeping includes a timed kfree,
+            # which must not run while Linux spins on the submit lock.
+            submit_exc = exc
+        finally:
+            self.linux_driver.sdma_lock.release("mckernel")
+        if submit_exc is not None:
+            # Undo our bookkeeping and let the slow path redo the call.
             pq.add("n_reqs", -1)
             kfree_cost = lwk.alloc.kfree(meta_addr, task.core_id)
             yield sim.timeout(kfree_cost)
             raise FastPathUnavailable(
-                f"pico writev submit failed: {exc}") from exc
-        finally:
-            self.linux_driver.sdma_lock.release("mckernel")
+                f"pico writev submit failed: {submit_exc}") from submit_exc
         lwk.tracer.count("pico.sdma_sends")
         lwk.tracer.record("pico.sdma_descs_per_send", len(descs))
         return total

@@ -14,12 +14,14 @@ that spin time is accounted to the acquiring context.
 
 from __future__ import annotations
 
+import sys
 from typing import Optional
 
 from ..errors import DriverError
 from ..hw.memory import SharedHeap
 from ..sim import Resource, Simulator, Tracer
 from .address_space import KernelAddressSpace
+from .lockclasses import REGISTRY as LOCK_CLASSES
 
 #: the one implementation both kernels must agree on
 LINUX_QSPINLOCK = "linux-x86_64-qspinlock"
@@ -46,6 +48,11 @@ class CrossKernelSpinLock:
         self._res = Resource(sim, capacity=1, name=name)
         self._holder: Optional[str] = None
         self._held_req = None
+        #: the holder's critical-section frame, captured at grant time —
+        #: recursion detection and lockdep's held-across-wait attribution
+        #: both key off frame identity, because kernel strings are shared
+        #: by every process of that kernel
+        self._holder_frame = None
 
     @property
     def locked(self) -> bool:
@@ -54,6 +61,12 @@ class CrossKernelSpinLock:
     @property
     def holder(self) -> Optional[str]:
         return self._holder
+
+    @property
+    def lock_class(self):
+        """The declared :class:`~repro.core.lockclasses.LockClass` this
+        lock's name resolves to, or None for an undeclared lock."""
+        return LOCK_CLASSES.get(self.name)
 
     def acquire(self, kernel: str, aspace: KernelAddressSpace,
                 impl: str = LINUX_QSPINLOCK):
@@ -69,6 +82,19 @@ class CrossKernelSpinLock:
                 f"spin-lock implementation mismatch on {self.name}: "
                 f"lock is {self.impl}, acquirer uses {impl}")
         aspace.check_access(self.word_addr, f"spin-lock word of {self.name}")
+        if self._holder is not None and self._holder_frame is not None \
+                and self._frame_is_live_caller(self._holder_frame):
+            # The FIFO resource would queue this request behind the very
+            # critical section issuing it — a silent self-deadlock (a
+            # real qspinlock spins forever here).  Kernel identity is not
+            # enough to detect it (two processes of one kernel contend
+            # legally), so we check whether the holder's recorded
+            # critical-section frame is on the *current* call chain.
+            raise DriverError(
+                f"recursive acquisition of {self.name} by {kernel}: "
+                f"already held by this context (acquired as "
+                f"{self._holder}); a spinning kernel never sees its own "
+                f"release")
         t0 = self.sim.now
         req = self._res.request()
         yield req
@@ -82,9 +108,27 @@ class CrossKernelSpinLock:
         self.heap.write_u(self.word_addr, 4, 1)
         self._holder = kernel
         self._held_req = req
+        # the delegating frame one level up is the critical section
+        self._holder_frame = sys._getframe().f_back
         if monitor is not None:
             monitor.on_lock_acquired(self.name, kernel)
+            hook = getattr(monitor, "on_lockdep_acquire", None)
+            if hook is not None:
+                hook(self, kernel, self._holder_frame)
         return req
+
+    @staticmethod
+    def _frame_is_live_caller(holder_frame) -> bool:
+        """True if ``holder_frame`` is on the current Python call chain
+        (i.e. the code attempting to acquire *is* the critical section
+        that already holds the lock, however many ``yield from`` levels
+        deep)."""
+        frame = sys._getframe(2)
+        while frame is not None:
+            if frame is holder_frame:
+                return True
+            frame = frame.f_back
+        return False
 
     def release(self, kernel: str) -> None:
         """Clear the lock word and wake the next FIFO waiter.
@@ -105,9 +149,13 @@ class CrossKernelSpinLock:
             monitor.annotate(kernel, f"lock:{self.name}", atomic=True)
         self.heap.write_u(self.word_addr, 4, 0)
         self._holder = None
+        self._holder_frame = None
         req, self._held_req = self._held_req, None
         if monitor is not None:
             monitor.on_lock_released(self.name, kernel)
+            hook = getattr(monitor, "on_lockdep_release", None)
+            if hook is not None:
+                hook(self, kernel)
         self._res.release(req)
 
     def held_by(self, kernel: str) -> bool:

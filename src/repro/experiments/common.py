@@ -67,6 +67,13 @@ class Machine:
         #: KSan race detectors, one per node heap, when
         #: ``repro.config.ANALYSIS.race_detection`` is on
         self.sanitizers: List[object] = []
+        #: lockdep validator, one per machine (the lock-class dependency
+        #: graph spans nodes), when ``ANALYSIS.lockdep`` is on
+        self.lockdep = None
+        if ANALYSIS.lockdep:
+            from ..analysis.lockdep import LockdepValidator
+            self.lockdep = LockdepValidator(self.sim, name="machine.lockdep")
+            self.sim.wait_monitor = self.lockdep
         self.nodes: List[MachineNode] = []
         for i in range(n_nodes):
             self.nodes.append(self._build_node(i, driver_version))
@@ -75,6 +82,10 @@ class Machine:
         """All cross-kernel races found by this machine's detectors."""
         return [report for det in self.sanitizers for report in det.races]
 
+    def lockdep_reports(self):
+        """All lock-order hazards found by this machine's validator."""
+        return [] if self.lockdep is None else list(self.lockdep.reports)
+
     def _build_node(self, node_id: int, driver_version: str) -> MachineNode:
         node = Node(self.sim, self.params, node_id, tracer=self.tracer)
         if ANALYSIS.race_detection:
@@ -82,6 +93,8 @@ class Machine:
             detector = RaceDetector(self.sim, name=f"node{node_id}.kheap")
             node.kheap.monitor = detector
             self.sanitizers.append(detector)
+        if self.lockdep is not None:
+            node.kheap.add_monitor(self.lockdep)
         self.fabric.attach(node.hfi)
         node.hfi.injector = self.injector
         linux = LinuxKernel(

@@ -24,6 +24,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from ..analysis.lockdep import irq_enter, irq_exit
 from ..config import FAULTS
 from ..errors import DriverError, ReproError
 from ..params import NicParams
@@ -427,11 +428,21 @@ class HFIDevice:
             self.sim.timeout(inj.plan.irq_recovery_timeout).add_callback(
                 lambda _evt: self._recover_irq(group))
             return
-        self.irq_dispatcher(group)
+        # the top half runs in IRQ context on a Linux CPU (sec. 3.3);
+        # lockdep attributes any lock taken inside to irq context
+        irq_enter("linux")
+        try:
+            self.irq_dispatcher(group)
+        finally:
+            irq_exit("linux")
 
     def _recover_irq(self, group: SdmaRequestGroup) -> None:
         self.tracer.count("hfi.irq_recovered")
-        self.irq_dispatcher(group)
+        irq_enter("linux")
+        try:
+            self.irq_dispatcher(group)
+        finally:
+            irq_exit("linux")
 
     def raise_error_irq(self, engine: SdmaEngine, reason: str) -> None:
         """SDMA engine error interrupt (halt detected in hardware)."""
@@ -440,4 +451,8 @@ class HFIDevice:
             raise ReproError(
                 f"HFI {self.node_id}: SDMA error IRQ ({reason}) with no "
                 f"error dispatcher (driver not loaded?)")
-        self.error_dispatcher(engine, reason)
+        irq_enter("linux")
+        try:
+            self.error_dispatcher(engine, reason)
+        finally:
+            irq_exit("linux")

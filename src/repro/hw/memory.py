@@ -249,10 +249,38 @@ class SharedHeap:
         self._brk = 0
         self._live: Dict[int, int] = {}  # addr -> size
         self._free_by_size: Dict[int, List[int]] = {}
-        #: opt-in access monitor (:class:`repro.analysis.ksan.RaceDetector`);
-        #: when installed, every read/write is reported to it together with
-        #: the annotation the accessor layer declared
-        self.monitor = None
+        # opt-in access monitors (KSan race detector, lockdep validator);
+        # when installed, every read/write is reported to them together
+        # with the annotation the accessor layer declared
+        self._monitors: List[object] = []
+        self._monitor_view = None
+
+    # -- monitors --------------------------------------------------------
+
+    @property
+    def monitor(self):
+        """The installed access monitor: None, the single monitor, or a
+        fan forwarding to all of them (accessor layers call it as one)."""
+        return self._monitor_view
+
+    @monitor.setter
+    def monitor(self, value) -> None:
+        self._monitors = [] if value is None else [value]
+        self._refresh_monitor_view()
+
+    def add_monitor(self, monitor) -> None:
+        """Install an additional monitor alongside any existing ones, so
+        KSan and the lockdep validator can watch the same heap."""
+        self._monitors.append(monitor)
+        self._refresh_monitor_view()
+
+    def _refresh_monitor_view(self) -> None:
+        if not self._monitors:
+            self._monitor_view = None
+        elif len(self._monitors) == 1:
+            self._monitor_view = self._monitors[0]
+        else:
+            self._monitor_view = _MonitorFan(self._monitors)
 
     @property
     def end(self) -> int:
@@ -330,3 +358,41 @@ class SharedHeap:
         """Size-class rounding (power of two, min 16) like a slab allocator."""
         size = max(size, 16)
         return 1 << (size - 1).bit_length()
+
+
+class _MonitorFan:
+    """Forwards the monitor protocol to every installed heap monitor.
+
+    Monitors implement only the hooks they care about (KSan ignores the
+    ``on_lockdep_*`` pair, lockdep ignores ``annotate``/``on_access``);
+    the fan quietly skips hooks a monitor does not define.
+    """
+
+    __slots__ = ("_monitors",)
+
+    def __init__(self, monitors: List[object]):
+        self._monitors = list(monitors)
+
+    def _fan(self, hook: str, *args, **kwargs) -> None:
+        for monitor in self._monitors:
+            fn = getattr(monitor, hook, None)
+            if fn is not None:
+                fn(*args, **kwargs)
+
+    def annotate(self, *args, **kwargs) -> None:
+        self._fan("annotate", *args, **kwargs)
+
+    def on_access(self, *args, **kwargs) -> None:
+        self._fan("on_access", *args, **kwargs)
+
+    def on_lock_acquired(self, *args, **kwargs) -> None:
+        self._fan("on_lock_acquired", *args, **kwargs)
+
+    def on_lock_released(self, *args, **kwargs) -> None:
+        self._fan("on_lock_released", *args, **kwargs)
+
+    def on_lockdep_acquire(self, *args, **kwargs) -> None:
+        self._fan("on_lockdep_acquire", *args, **kwargs)
+
+    def on_lockdep_release(self, *args, **kwargs) -> None:
+        self._fan("on_lockdep_release", *args, **kwargs)

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ...config import FAULTS
+from ...core.lockclasses import declare_lock_class
 from ...core.structs import StructInstance
 from ...errors import BadSyscall, DriverError, TransientDeviceError
 from ...hw.hfi import Packet, RcvContext, SdmaRequestGroup
@@ -28,6 +29,15 @@ from .debuginfo import (CURRENT_VERSION, SDMA_PKT_Q_ACTIVE,
                         SDMA_STATE_S10_HW_START_UP_HALT_WAIT,
                         SDMA_STATE_S99_RUNNING, build_module, struct_defs)
 from .sdma import build_descs_from_pages
+
+# The submit lock is the innermost lock of the cross-kernel hierarchy:
+# both the Linux writev slow path and the pico fast path take it last,
+# with nothing ranked above it.  Declared here because this driver owns
+# the lock word (PicoDriver only borrows it).
+declare_lock_class(
+    "hfi1.sdma_submit", rank=20, subsystem="linux/hfi1",
+    attrs=("sdma_lock",),
+    doc="serializes SDMA ring submission across Linux and McKernel")
 
 #: fixed cost of context setup in open() beyond the generic open path
 _CTXT_SETUP_COST = 3.2 * USEC

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from ..analysis.lockdep import irq_enter, irq_exit, tag_irq_generator
 from ..params import Params
 from ..sim import Resource, Simulator, Tracer
 
@@ -36,7 +37,14 @@ class InterruptController:
             yield cpu
             t0 = self.sim.now
             yield self.sim.timeout(self.params.nic.irq_handler_cost)
-            result = handler(*args)
+            # top half runs in IRQ context; a bottom-half generator is
+            # tagged per resume step so interleaved processes are not
+            # mis-attributed while it is suspended
+            irq_enter("linux")
+            try:
+                result = handler(*args)
+            finally:
+                irq_exit("linux")
             if result is not None and hasattr(result, "send"):
-                yield self.sim.process(result)
+                yield self.sim.process(tag_irq_generator(result, "linux"))
             self.tracer.record("irq.service", self.sim.now - t0)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from ..core.lockclasses import declare_lock_class
 from ..core.picodriver import PicoDriverRegistry
 from ..errors import BadSyscall, FastPathUnavailable, ReproError
 from ..hw.node import Node
@@ -30,6 +31,17 @@ from ..units import pages_for
 from .mm import LwkMM, PerCoreAllocator
 from .proxy import ProxyProcess
 from .scheduler import CoopScheduler
+
+# The dispatcher lock ranks *below* every device lock: a fast path runs
+# under syscall dispatch and then takes its device's submit lock, never
+# the other way around.  Declared without an instance — the current
+# dispatcher is per-core cooperative and needs no shared word — so the
+# hierarchy slot is reserved before anyone grows a cross-kernel
+# dispatcher and discovers the inversion the hard way.
+declare_lock_class(
+    "mckernel.dispatch", rank=10, subsystem="mckernel",
+    attrs=("dispatch_lock",),
+    doc="orders LWK syscall dispatch against device fast paths")
 
 #: fd-based syscalls that may target a device file
 _FD_SYSCALLS = ("close", "read", "writev", "ioctl", "poll", "lseek")

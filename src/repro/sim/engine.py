@@ -134,6 +134,9 @@ class Simulator:
         self.now: float = 0.0
         self._heap: list = []
         self._seq = count()
+        #: opt-in wait observer (the lockdep validator): notified of every
+        #: positive-delay timeout so held-across-wait hazards are caught
+        self.wait_monitor = None
 
     # -- scheduling ------------------------------------------------------
 
@@ -146,6 +149,8 @@ class Simulator:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event firing ``delay`` seconds from now."""
+        if self.wait_monitor is not None and delay > 0:
+            self.wait_monitor.on_timed_wait(delay)
         return Timeout(self, delay, value)
 
     def process(self, generator) -> "Process":

@@ -83,3 +83,119 @@ def test_sanitize_reports_seeded_race(capsys):
     assert "lockset intersection is empty" in out
     assert "1 cross-kernel race(s) detected" in out
     assert ANALYSIS.race_detection is False   # restored even on findings
+
+
+# --- lockgraph ---------------------------------------------------------------
+
+def test_lockgraph_shipped_tree_exits_zero(capsys):
+    assert main(["lockgraph"]) == 0
+    out = capsys.readouterr().out
+    assert "declared hierarchy:" in out
+    assert "hfi1.sdma_submit" in out
+    assert "lockgraph: acyclic and hierarchy-clean" in out
+
+
+def test_lockgraph_dot_output(capsys):
+    assert main(["lockgraph", "--dot"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("digraph")
+    assert "hfi1.sdma_submit" in out
+
+
+def test_lockgraph_unknown_option_exits_two(capsys):
+    assert main(["lockgraph", "--dotty"]) == 2
+    assert "unknown option" in capsys.readouterr().out
+
+
+def test_lockgraph_flags_abba_fixture(tmp_path, capsys):
+    bad = tmp_path / "abba.py"
+    bad.write_text(textwrap.dedent("""\
+        dispatch = CrossKernelSpinLock(sim, heap, name="mckernel.dispatch")
+        sdma = CrossKernelSpinLock(sim, heap, name="hfi1.sdma_submit")
+
+        def linux_path(self):
+            yield from dispatch.acquire("linux", aspace)
+            yield from sdma.acquire("linux", aspace)
+            sdma.release("linux")
+            dispatch.release("linux")
+
+        def mck_path(self):
+            yield from sdma.acquire("mckernel", aspace)
+            yield from dispatch.acquire("mckernel", aspace)
+            dispatch.release("mckernel")
+            sdma.release("mckernel")
+        """))
+    assert main(["lockgraph", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "PD008" in out
+    assert "cycle" in out
+
+
+# --- lockdep -----------------------------------------------------------------
+
+def _lockdep_machine(abba):
+    """A miniature 'experiment' with its own registered validator."""
+    from repro.analysis.lockdep import LockdepValidator
+    from repro.core import linux_layout, mckernel_unified_layout
+    from repro.core.sync import CrossKernelSpinLock
+    from repro.hw import SharedHeap
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    heap = SharedHeap(65536)
+    validator = LockdepValidator(sim, name="fixture.lockdep")
+    heap.add_monitor(validator)
+    sim.wait_monitor = validator
+    dispatch = CrossKernelSpinLock(sim, heap, name="mckernel.dispatch")
+    sdma = CrossKernelSpinLock(sim, heap, name="hfi1.sdma_submit")
+    linux = linux_layout()
+    mck = mckernel_unified_layout()
+
+    def single(lock, kernel, aspace, start):
+        yield sim.timeout(start)
+        yield from lock.acquire(kernel, aspace)
+        lock.release(kernel)
+
+    def nested(lock1, lock2, kernel, aspace, start):
+        yield sim.timeout(start)
+        yield from lock1.acquire(kernel, aspace)
+        yield from lock2.acquire(kernel, aspace)
+        lock2.release(kernel)
+        lock1.release(kernel)
+
+    if abba:
+        sim.process(nested(dispatch, sdma, "linux", linux, 0.0))
+        sim.process(nested(sdma, dispatch, "mckernel", mck, 1.0))
+    else:
+        sim.process(single(sdma, "linux", linux, 0.0))
+        sim.process(single(dispatch, "mckernel", mck, 1.0))
+    sim.run()
+    return "fixture ran"
+
+
+def test_lockdep_usage_and_unknown_experiment(capsys):
+    from repro.analysis.cli import cmd_lockdep
+    assert cmd_lockdep([], {}) == 2
+    assert "usage:" in capsys.readouterr().out
+    assert cmd_lockdep(["nope"], {}) == 2
+    assert "unknown experiment" in capsys.readouterr().out
+
+
+def test_lockdep_clean_experiment_exits_zero(capsys):
+    from repro.analysis.cli import cmd_lockdep
+    rc = cmd_lockdep(["quiet"], {"quiet": lambda: _lockdep_machine(False)})
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "no lock-order hazards" in out
+    assert ANALYSIS.lockdep is False  # restored afterwards
+
+
+def test_lockdep_reports_seeded_abba(capsys):
+    from repro.analysis.cli import cmd_lockdep
+    rc = cmd_lockdep(["abba"], {"abba": lambda: _lockdep_machine(True)})
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "order-cycle" in out or "cycle" in out
+    assert "hierarchy" in out
+    assert "linux" in out and "mckernel" in out
+    assert ANALYSIS.lockdep is False  # restored even on findings

@@ -104,7 +104,7 @@ def test_pd002_tracks_distinct_receivers():
             yield from self.a.acquire("linux", self.aspace)
             yield from self.b.acquire("linux", self.aspace)
             try:
-                yield self.sim.timeout(1.0)
+                yield from self.engine.submit(group)
             finally:
                 self.a.release("linux")
         """)
@@ -298,7 +298,10 @@ def test_targeted_suppression_matches_code():
 def test_targeted_suppression_of_other_code_does_not_apply():
     src = RAW_HEAP_SRC.replace("read_u(addr, 4)",
                                "read_u(addr, 4)  # pd-ignore[PD001, PD004]")
-    assert codes(lint(src, path="src/repro/core/rogue.py")) == ["PD005"]
+    # the PD005 finding survives, and the mistargeted suppression is
+    # itself reported as stale (PD100)
+    assert codes(lint(src, path="src/repro/core/rogue.py")) == \
+        ["PD005", "PD100"]
 
 
 # --- machinery ---------------------------------------------------------------
@@ -351,3 +354,96 @@ def test_shipped_tree_lints_clean():
     """``python -m repro lint`` must exit zero on the repository itself;
     this is the tier-1 enforcement of that contract."""
     assert lint_paths([default_lint_root()]) == []
+
+
+# --- PD008 lock-order hierarchy ----------------------------------------------
+
+def test_pd008_rank_violating_nesting():
+    findings = lint("""\
+        dispatch = CrossKernelSpinLock(sim, heap, name="mckernel.dispatch")
+        sdma = CrossKernelSpinLock(sim, heap, name="hfi1.sdma_submit")
+
+        def bad(self):
+            yield from sdma.acquire("mckernel", aspace)
+            yield from dispatch.acquire("mckernel", aspace)
+            try:
+                yield from self.engine.submit(group)
+            finally:
+                dispatch.release("mckernel")
+                sdma.release("mckernel")
+        """)
+    assert "PD008" in codes(findings)
+    pd008 = next(f for f in findings if f.code == "PD008")
+    assert "mckernel.dispatch" in pd008.message
+    assert "hfi1.sdma_submit" in pd008.message
+
+
+def test_pd008_rank_respecting_nesting_is_clean():
+    findings = lint("""\
+        dispatch = CrossKernelSpinLock(sim, heap, name="mckernel.dispatch")
+        sdma = CrossKernelSpinLock(sim, heap, name="hfi1.sdma_submit")
+
+        def good(self):
+            yield from dispatch.acquire("mckernel", aspace)
+            yield from sdma.acquire("mckernel", aspace)
+            try:
+                yield from self.engine.submit(group)
+            finally:
+                sdma.release("mckernel")
+                dispatch.release("mckernel")
+        """)
+    assert findings == []
+
+
+# --- PD009 no timed wait in critical section ---------------------------------
+
+def test_pd009_timed_wait_while_held():
+    findings = lint("""\
+        def submit(self, group):
+            yield from self.lock.acquire("mckernel", self.aspace)
+            try:
+                yield self.sim.timeout(1.0)
+            finally:
+                self.lock.release("mckernel")
+        """)
+    assert codes(findings) == ["PD009"]
+    assert "timeout" in findings[0].message
+
+
+def test_pd009_clean_after_release():
+    findings = lint("""\
+        def submit(self, group):
+            yield from self.lock.acquire("mckernel", self.aspace)
+            try:
+                yield from self.engine.submit(group)
+            finally:
+                self.lock.release("mckernel")
+            yield self.sim.timeout(1.0)
+        """)
+    assert findings == []
+
+
+# --- PD100 unused suppressions -----------------------------------------------
+
+def test_pd100_bare_unused_suppression():
+    findings = lint("""\
+        def f(self):
+            return self.x  # pd-ignore
+        """)
+    assert codes(findings) == ["PD100"]
+    assert "suppresses nothing" in findings[0].message
+
+
+def test_pd100_quiet_when_suppression_is_used():
+    src = RAW_HEAP_SRC.replace("read_u(addr, 4)",
+                               "read_u(addr, 4)  # pd-ignore")
+    assert lint(src, path="src/repro/core/rogue.py") == []
+
+
+def test_pd100_ignores_prose_mentions_of_the_marker():
+    findings = lint('''\
+        def f(self):
+            """Docs may discuss pd-ignore without tripping PD100."""
+            return self.x
+        ''')
+    assert findings == []

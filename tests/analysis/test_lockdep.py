@@ -1,0 +1,430 @@
+"""Tests for PicoLockdep: the runtime deadlock validator, the static
+lock-graph pass, and the consistency between the two views."""
+
+import ast
+
+import pytest
+
+from repro.analysis.lockdep import (LockdepValidator, LockGraph,
+                                    build_static_lock_graph,
+                                    check_lock_order, in_irq, irq_enter,
+                                    irq_exit, tag_irq_generator)
+from repro.core import linux_layout, mckernel_unified_layout
+from repro.core.lockclasses import REGISTRY, ensure_declarations
+from repro.core.sync import CrossKernelSpinLock
+from repro.errors import ReproError
+from repro.hw import SharedHeap
+from repro.sim import Simulator
+
+
+def make_env():
+    """A sim + heap with a registered validator and the two declared
+    lock classes instantiated as real cross-kernel locks."""
+    ensure_declarations()
+    sim = Simulator()
+    heap = SharedHeap(65536)
+    validator = LockdepValidator(sim, name="test.lockdep", register=False)
+    heap.add_monitor(validator)
+    sim.wait_monitor = validator
+    dispatch = CrossKernelSpinLock(sim, heap, name="mckernel.dispatch")
+    submit = CrossKernelSpinLock(sim, heap, name="hfi1.sdma_submit")
+    return sim, heap, validator, dispatch, submit
+
+
+# --- dynamic view -------------------------------------------------------------
+
+def test_lock_resolves_declared_class():
+    _sim, _heap, _v, dispatch, submit = make_env()
+    assert dispatch.lock_class.rank == 10
+    assert submit.lock_class.rank == 20
+    assert "core/hfi_pico" in submit.lock_class.users
+
+
+def test_rank_respecting_nesting_is_clean():
+    sim, _heap, validator, dispatch, submit = make_env()
+    linux = linux_layout()
+
+    def linux_path():
+        yield from dispatch.acquire("linux", linux)
+        yield from submit.acquire("linux", linux)
+        submit.release("linux")
+        dispatch.release("linux")
+
+    sim.run(until=sim.process(linux_path()))
+    assert validator.reports == []
+    assert ("mckernel.dispatch", "hfi1.sdma_submit") \
+        in validator.dependency_edges()
+
+
+def test_abba_reported_with_both_sites_and_kernels():
+    """The seeded AB-BA: Linux takes dispatch->submit (legal), McKernel
+    takes submit->dispatch.  No hang occurs (the paths run at different
+    times) yet the validator must report the cycle with both witness
+    sites, both kernels and the sim timestamps."""
+    sim, _heap, validator, dispatch, submit = make_env()
+    linux = linux_layout()
+    mck = mckernel_unified_layout()
+
+    def linux_path():
+        yield from dispatch.acquire("linux", linux)
+        yield from submit.acquire("linux", linux)
+        submit.release("linux")
+        dispatch.release("linux")
+
+    def mck_path():
+        yield sim.timeout(1.0)
+        yield from submit.acquire("mckernel", mck)
+        yield from dispatch.acquire("mckernel", mck)
+        dispatch.release("mckernel")
+        submit.release("mckernel")
+
+    sim.process(linux_path())
+    sim.process(mck_path())
+    sim.run()
+    kinds = [r.kind for r in validator.reports]
+    assert "order-cycle" in kinds
+    assert "hierarchy-violation" in kinds
+    cycle = next(r for r in validator.reports if r.kind == "order-cycle")
+    text = cycle.render()
+    # both acquisition sites (function names) and both kernels named
+    assert "linux_path" in text and "mck_path" in text
+    assert "linux" in text and "mckernel" in text
+    assert "t=1" in text and "t=0" in text
+    rank = next(r for r in validator.reports
+                if r.kind == "hierarchy-violation")
+    assert "rank 10" in rank.render() and "rank 20" in rank.render()
+
+
+def test_cycle_reported_once_per_class_set():
+    sim, _heap, validator, dispatch, submit = make_env()
+    linux = linux_layout()
+    mck = mckernel_unified_layout()
+
+    def one(lock1, lock2, kernel, aspace, start):
+        yield sim.timeout(start)
+        yield from lock1.acquire(kernel, aspace)
+        yield from lock2.acquire(kernel, aspace)
+        lock2.release(kernel)
+        lock1.release(kernel)
+
+    sim.process(one(dispatch, submit, "linux", linux, 0.0))
+    sim.process(one(submit, dispatch, "mckernel", mck, 1.0))
+    sim.process(one(dispatch, submit, "linux", linux, 2.0))
+    sim.process(one(submit, dispatch, "mckernel", mck, 3.0))
+    sim.run()
+    assert len([r for r in validator.reports
+                if r.kind == "order-cycle"]) == 1
+
+
+def test_held_across_wait_attributed_to_holder():
+    sim, _heap, validator, _dispatch, submit = make_env()
+    mck = mckernel_unified_layout()
+
+    def body():
+        yield from submit.acquire("mckernel", mck)
+        yield sim.timeout(5.0)  # the peer kernel spins all 5 seconds
+        submit.release("mckernel")
+
+    sim.run(until=sim.process(body()))
+    waits = [r for r in validator.reports if r.kind == "held-across-wait"]
+    assert len(waits) == 1
+    text = waits[0].render()
+    assert "hfi1.sdma_submit" in text and "in body" in text
+    assert "5" in waits[0].title
+
+
+def test_unrelated_wait_is_not_attributed():
+    """A timeout issued by a process that holds nothing must not be
+    blamed on whoever happens to hold a lock at that instant."""
+    sim, _heap, validator, _dispatch, submit = make_env()
+    linux = linux_layout()
+    wake = sim.event()
+
+    def holder():
+        yield from submit.acquire("linux", linux)
+        yield wake  # untimed wait: this frame never issues a timeout
+        submit.release("linux")
+
+    def bystander():
+        yield sim.timeout(1.0)  # timed waits while holding nothing
+        yield sim.timeout(1.0)
+        wake.succeed()
+
+    hold = sim.process(holder())
+    sim.process(bystander())
+    sim.run()
+    assert hold.exception is None
+    assert [r for r in validator.reports
+            if r.kind == "held-across-wait"] == []
+
+
+def test_irq_inversion_reported():
+    sim, _heap, validator, _dispatch, submit = make_env()
+    linux = linux_layout()
+
+    def process_side():
+        yield from submit.acquire("linux", linux)
+        submit.release("linux")
+
+    def irq_side():
+        yield sim.timeout(1.0)
+        yield from submit.acquire("linux", linux)
+        submit.release("linux")
+
+    sim.process(process_side())
+    sim.process(tag_irq_generator(irq_side(), "linux"))
+    sim.run()
+    inversions = [r for r in validator.reports
+                  if r.kind == "irq-inversion"]
+    assert len(inversions) == 1
+    text = inversions[0].render()
+    assert "[irq]" in text and "[process]" in text
+
+
+def test_tag_irq_generator_brackets_each_resume_step():
+    sim = Simulator()
+    observed = []
+
+    def handler():
+        observed.append(in_irq("linux"))
+        yield sim.timeout(1.0)
+        observed.append(in_irq("linux"))
+        return "done"
+
+    def bystander():
+        yield sim.timeout(0.5)
+        observed.append(("bystander", in_irq("linux")))
+
+    proc = sim.process(tag_irq_generator(handler(), "linux"))
+    sim.process(bystander())
+    sim.run()
+    # in IRQ context during both handler steps, never while suspended
+    assert observed == [True, ("bystander", False), True]
+    assert proc.value == "done"
+    assert not in_irq("linux")
+
+
+def test_irq_exit_without_enter_rejected():
+    irq_enter("testkernel")
+    irq_exit("testkernel")
+    with pytest.raises(ReproError):
+        irq_exit("testkernel")
+
+
+def test_summary_counts_acquisitions_and_edges():
+    sim, _heap, validator, dispatch, submit = make_env()
+    linux = linux_layout()
+
+    def body():
+        yield from dispatch.acquire("linux", linux)
+        yield from submit.acquire("linux", linux)
+        submit.release("linux")
+        dispatch.release("linux")
+
+    sim.run(until=sim.process(body()))
+    summary = validator.summary()
+    assert "no findings" in summary
+    assert "2 acquisition(s)" in summary
+    assert "1 dependency edge(s)" in summary
+
+
+# --- static view --------------------------------------------------------------
+
+ABBA_SRC = '''\
+class AbbaDrivers:
+    def setup(self, sim, heap):
+        self.dispatch_lock = CrossKernelSpinLock(
+            sim, heap, name="mckernel.dispatch")
+        self.sdma_lock = CrossKernelSpinLock(
+            sim, heap, name="hfi1.sdma_submit")
+
+    def linux_path(self):
+        yield from self.dispatch_lock.acquire("linux", self.aspace)
+        yield from self.sdma_lock.acquire("linux", self.aspace)
+        self.sdma_lock.release("linux")
+        self.dispatch_lock.release("linux")
+
+    def mck_path(self):
+        yield from self.sdma_lock.acquire("mckernel", self.aspace)
+        yield from self.dispatch_lock.acquire("mckernel", self.aspace)
+        self.dispatch_lock.release("mckernel")
+        self.sdma_lock.release("mckernel")
+'''
+
+
+def _static(source, path="src/repro/mckernel/x.py", graph=None):
+    findings = []
+    check_lock_order(path, ast.parse(source), findings, graph=graph)
+    return findings
+
+
+def test_static_abba_yields_pd008_and_cycle():
+    ensure_declarations()
+    graph = LockGraph()
+    findings = _static(ABBA_SRC, graph=graph)
+    assert [f.code for f in findings] == ["PD008"]
+    assert "rank 10" in findings[0].message
+    assert "mck_path" in findings[0].message
+    assert graph.has_edge("mckernel.dispatch", "hfi1.sdma_submit")
+    assert graph.has_edge("hfi1.sdma_submit", "mckernel.dispatch")
+    cycles = graph.cycles()
+    assert len(cycles) == 1
+    funcs = {edge.func for edge in cycles[0]}
+    assert funcs == {"AbbaDrivers.linux_path", "AbbaDrivers.mck_path"}
+    kernels = {edge.kernel for edge in cycles[0]}
+    assert kernels == {"linux", "mckernel"}
+
+
+def test_static_resolves_class_via_registry_attr():
+    """No constructor binding in sight: ``self.foo.sdma_lock`` resolves
+    through the declared ``attrs`` map."""
+    ensure_declarations()
+    graph = LockGraph()
+    _static('''\
+def path(self):
+    yield from self.driver.sdma_lock.acquire("mckernel", self.aspace)
+    self.driver.sdma_lock.release("mckernel")
+''', graph=graph)
+    assert graph.ranks.get("hfi1.sdma_submit") == 20
+
+
+def test_static_pd009_direct_and_through_helper():
+    findings = _static('''\
+class D:
+    def direct(self):
+        yield from self.lock.acquire("linux", self.aspace)
+        yield self.sim.timeout(1.0)
+        self.lock.release("linux")
+
+    def outer(self):
+        yield from self.lock.acquire("linux", self.aspace)
+        yield from self._backoff()
+        self.lock.release("linux")
+
+    def _backoff(self):
+        yield self.sim.timeout(2.0)
+''')
+    pd009 = [f for f in findings if f.code == "PD009"]
+    assert len(pd009) == 2
+    assert any("D.direct" in f.message for f in pd009)
+    assert any("D._backoff" in f.message for f in pd009)
+
+
+def test_static_release_before_wait_is_clean():
+    findings = _static('''\
+def path(self):
+    yield from self.lock.acquire("linux", self.aspace)
+    try:
+        yield from self.engine.submit(group)
+    finally:
+        self.lock.release("linux")
+    yield self.sim.timeout(1.0)
+''')
+    assert findings == []
+
+
+def test_static_wait_in_except_branch_while_held_flagged():
+    """The pre-refactor fast_writev shape: the except branch sleeps
+    before the finally releases."""
+    findings = _static('''\
+def path(self):
+    yield from self.lock.acquire("mckernel", self.aspace)
+    try:
+        yield from self.engine.submit(group)
+    except DriverError:
+        yield self.sim.timeout(cost)
+        raise
+    finally:
+        self.lock.release("mckernel")
+''')
+    assert [f.code for f in findings] == ["PD009"]
+
+
+def test_static_self_deadlock_is_pd008():
+    findings = _static('''\
+def path(self):
+    yield from self.lock.acquire("linux", self.aspace)
+    yield from self.lock.acquire("linux", self.aspace)
+    self.lock.release("linux")
+    self.lock.release("linux")
+''')
+    assert [f.code for f in findings] == ["PD008"]
+    assert "already holding it" in findings[0].message
+
+
+def test_static_anonymous_lock_pairs_do_not_fire_pd008():
+    """Two undeclared locks have no ranks; nesting them is not a
+    hierarchy violation (PD002 still polices their release paths)."""
+    findings = _static('''\
+def path(self):
+    yield from self.a.acquire("linux", self.aspace)
+    yield from self.b.acquire("linux", self.aspace)
+    self.b.release("linux")
+    self.a.release("linux")
+''')
+    assert findings == []
+
+
+def test_shipped_tree_static_graph_is_clean():
+    graph, findings = build_static_lock_graph()
+    assert findings == []
+    assert graph.cycles() == []
+    assert graph.hierarchy_violations() == []
+    assert graph.ranks["hfi1.sdma_submit"] == 20
+    # both the Linux slow path and the pico fast path acquire it
+    sites = " ".join(graph.sites["hfi1.sdma_submit"])
+    assert "driver.py" in sites and "hfi_pico.py" in sites
+
+
+def test_to_dot_renders_nodes_and_edges():
+    ensure_declarations()
+    graph = LockGraph()
+    _static(ABBA_SRC, graph=graph)
+    dot = graph.to_dot()
+    assert "digraph" in dot
+    assert '"mckernel.dispatch" -> "hfi1.sdma_submit"' in dot
+    assert "rank 20" in dot
+
+
+def test_hierarchy_table_lists_users():
+    ensure_declarations()
+    table = REGISTRY.hierarchy_table()
+    assert "mckernel.dispatch" in table
+    assert "core/hfi_pico" in table
+
+
+# --- dynamic/static consistency ----------------------------------------------
+
+def test_dynamic_abba_edges_are_subset_of_static(tmp_path):
+    """The consistency contract of ``python -m repro lockdep``: every
+    dependency edge the validator observes at runtime must appear in
+    the static graph extracted from the same source shape."""
+    fixture = tmp_path / "abba.py"
+    fixture.write_text(ABBA_SRC)
+    graph, _findings = build_static_lock_graph([str(fixture)])
+
+    sim, _heap, validator, dispatch, submit = make_env()
+    linux = linux_layout()
+    mck = mckernel_unified_layout()
+
+    def linux_path():
+        yield from dispatch.acquire("linux", linux)
+        yield from submit.acquire("linux", linux)
+        submit.release("linux")
+        dispatch.release("linux")
+
+    def mck_path():
+        yield sim.timeout(1.0)
+        yield from submit.acquire("mckernel", mck)
+        yield from dispatch.acquire("mckernel", mck)
+        dispatch.release("mckernel")
+        submit.release("mckernel")
+
+    sim.process(linux_path())
+    sim.process(mck_path())
+    sim.run()
+    dynamic = set(validator.dependency_edges())
+    assert dynamic == {("mckernel.dispatch", "hfi1.sdma_submit"),
+                       ("hfi1.sdma_submit", "mckernel.dispatch")}
+    for src, dst in dynamic:
+        assert graph.has_edge(src, dst)

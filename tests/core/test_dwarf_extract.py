@@ -157,3 +157,24 @@ def test_extraction_matches_abi_for_random_structs(seed, n_fields):
         assert got.offset == sdef.offset_of(f.name)
         assert got.elem_size == f.elem.size
         assert got.count == f.count
+
+
+def test_array_dies_are_interned_per_elem_and_count():
+    """Two fields of type u64[16] share one DW_TAG_array_type DIE (as
+    real compilers emit); a different element count gets its own."""
+    s = CStructDef("t", [Field("a", ARRAY(U64, 16)),
+                         Field("b", ARRAY(U64, 16)),
+                         Field("c", ARRAY(U64, 4))])
+    binary = emit_dwarf([s])
+    arrays = [die for die in binary.dwarf.walk()
+              if die.tag == D.DW_TAG_array_type]
+    assert len(arrays) == 2
+    sdie = next(die for die in binary.dwarf.walk()
+                if die.tag == D.DW_TAG_structure_type)
+    refs = {m.at(D.DW_AT_name): m.at(D.DW_AT_type) for m in sdie.children}
+    assert refs["a"] == refs["b"]
+    assert refs["a"] != refs["c"]
+    # dedupe must not disturb extraction
+    layout = dwarf_extract_struct(binary, "t", ["a", "b", "c"])
+    assert (layout.field("b").elem_size, layout.field("b").count) == (8, 16)
+    assert layout.field("c").count == 4
