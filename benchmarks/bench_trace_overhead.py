@@ -1,0 +1,69 @@
+"""Tracing overhead: Figure-4 wall clock with spans off versus on.
+
+Two properties keep the observability layer honest:
+
+* **Disabled is free of record-keeping** — with a collector *installed
+  but not enabled* the PD011 gates must skip every emission, so the
+  collector ends the run with zero spans and zero flows.
+* **Enabled is bounded** — span emission is plain Python bookkeeping
+  (no extra simulation events, no RNG draws), so the traced run must
+  stay under a documented slowdown bound versus the untraced run.
+"""
+
+import time
+
+from repro.config import TRACE, enable_tracing
+from repro.experiments import run_fig4
+from repro.obs import SpanCollector
+from repro.units import KiB
+
+#: sizes kept small: this benchmark times the harness, not the figure
+SIZES = (16 * KiB, 256 * KiB)
+
+#: documented bound: traced runs may cost at most this factor over
+#: untraced ones (measured ~1.3-1.8x; the slack absorbs CI jitter)
+MAX_SLOWDOWN = 3.0
+
+
+def _fig4_seconds() -> float:
+    """Best-of-two wall-clock seconds for one small fig4 regeneration."""
+    best = float("inf")
+    for _ in range(2):
+        t0 = time.perf_counter()
+        run_fig4(sizes=SIZES, repetitions=1)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_trace_overhead(benchmark):
+    """Compare fig4 wall clock untraced vs traced; check both bounds."""
+    # installed-but-disabled: the gates must keep the collector empty
+    idle = SpanCollector()
+    TRACE.collector = idle
+    TRACE.enabled = False
+    try:
+        t_off = _fig4_seconds()
+    finally:
+        enable_tracing(None)
+    assert idle.spans == [] and idle.flows == [], \
+        "disabled run leaked span emissions past the TRACE gates"
+
+    collector = SpanCollector()
+    enable_tracing(collector)
+    try:
+        t_on = benchmark.pedantic(_fig4_seconds, rounds=1, iterations=1)
+    finally:
+        enable_tracing(None)
+    assert collector.spans, "traced run recorded no spans"
+
+    slowdown = t_on / t_off if t_off > 0 else 1.0
+    print()
+    print(f"fig4 {[s // KiB for s in SIZES]}KiB: untraced {t_off:.3f}s, "
+          f"traced {t_on:.3f}s ({slowdown:.2f}x, "
+          f"{len(collector.spans)} spans / {len(collector.flows)} flows)")
+    benchmark.extra_info["untraced_s"] = round(t_off, 4)
+    benchmark.extra_info["traced_s"] = round(t_on, 4)
+    benchmark.extra_info["slowdown"] = round(slowdown, 3)
+    benchmark.extra_info["spans"] = len(collector.spans)
+    assert slowdown < MAX_SLOWDOWN, \
+        f"tracing slowed fig4 by {slowdown:.2f}x (bound {MAX_SLOWDOWN}x)"

@@ -10,6 +10,7 @@
     python -m repro lockdep fig4  # re-run with the deadlock validator
     python -m repro lockgraph     # static lock-class graph (--dot)
     python -m repro chaos         # fault-injection sweep (--smoke for CI)
+    python -m repro trace fig4    # causal tracing (--out/--breakdown/--smoke)
 """
 
 from __future__ import annotations
@@ -112,7 +113,7 @@ def main(argv=None) -> int:
         print(__doc__)
         print("commands:", ", ".join([*COMMANDS, "all", "dwarf", "lint",
                                       "sanitize", "lockdep", "lockgraph",
-                                      "chaos"]))
+                                      "chaos", "trace"]))
         return 0
     name = argv[0]
     if name == "dwarf":
@@ -132,6 +133,9 @@ def main(argv=None) -> int:
     if name == "chaos":
         from .experiments.chaos import cmd_chaos
         return cmd_chaos(argv[1:])
+    if name == "trace":
+        from .obs.cli import cmd_trace
+        return cmd_trace(argv[1:])
     if name == "all":
         for key, fn in COMMANDS.items():
             if key == "report":

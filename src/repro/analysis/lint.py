@@ -35,6 +35,10 @@ PD008    lock-order hierarchy: nested ``acquire`` must follow the
 PD009    no timed wait in a critical section: no ``yield *.timeout/
          wait(...)`` while a cross-kernel lock is held — the peer
          kernel spins on the lock word for the whole wait
+PD011    trace-hook gating: every span emission (``begin_span`` /
+         ``end_span`` / ``instant_span`` / ``complete_span`` /
+         ``add_flow``) sits behind a ``config.TRACE`` check, so
+         untraced runs stay branch-cheap and bit-identical
 PD100    unused suppression: a ``# pd-ignore`` comment that suppresses
          nothing (rots silently and hides future real findings)
 =======  ==============================================================
@@ -89,6 +93,10 @@ RULES: Dict[str, Tuple[str, str]] = {
               "release the cross-kernel lock before yielding the timed "
               "wait; the peer kernel spins on the lock word until the "
               "wait elapses"),
+    "PD011": ("trace-hook gating",
+              "guard the span emission with 'if TRACE.enabled' (or the "
+              "'... if TRACE.enabled else None' expression form) so "
+              "untraced runs never touch the collector"),
     "PD100": ("unused suppression",
               "delete the stale '# pd-ignore' comment (or narrow its "
               "rule list to the codes actually found on the line)"),
@@ -357,39 +365,43 @@ def _check_raw_heap(path: str, tree: ast.AST,
                 f"outside structs.py/sync.py"))
 
 
-def _refs_faults(node: ast.AST) -> bool:
-    """True if the expression mentions the FAULTS config anywhere."""
+def _refs_config(node: ast.AST, config_name: str) -> bool:
+    """True if the expression mentions the named config anywhere."""
     for sub in ast.walk(node):
-        if isinstance(sub, ast.Name) and sub.id == "FAULTS":
+        if isinstance(sub, ast.Name) and sub.id == config_name:
             return True
-        if isinstance(sub, ast.Attribute) and sub.attr == "FAULTS":
+        if isinstance(sub, ast.Attribute) and sub.attr == config_name:
             return True
     return False
 
 
-def _check_fault_gating(path: str, tree: ast.AST,
-                        findings: List[Finding]) -> None:
-    """PD007: every ``*.fires(...)`` draw is behind a FAULTS check.
+def _check_config_gating(path: str, tree: ast.AST,
+                         findings: List[Finding], config_name: str,
+                         attrs: Iterable[str], code: str,
+                         describe: str) -> None:
+    """Shared gating pass behind PD007 and PD011.
 
-    A draw is considered guarded when it sits in the body of an ``if``
-    (or the then-branch of a conditional expression) whose test
-    references ``FAULTS``, or — matching the hooks' actual idiom — when
-    it appears in an ``and`` chain *after* an operand that references
-    ``FAULTS``, as in ``if FAULTS.enabled and inj and inj.fires(...)``.
+    A call ``*.<attr>(...)`` with ``attr`` in ``attrs`` is considered
+    guarded when it sits in the body of an ``if`` (or the then-branch of
+    a conditional expression) whose test references ``config_name``, or
+    — matching the hooks' actual idiom — when it appears in an ``and``
+    chain *after* an operand that references it, as in
+    ``if FAULTS.enabled and inj and inj.fires(...)``.
     """
+    attrs = frozenset(attrs)
 
     def scan(node: ast.AST, guarded: bool) -> None:
         if (isinstance(node, ast.Call)
                 and isinstance(node.func, ast.Attribute)
-                and node.func.attr == "fires"
+                and node.func.attr in attrs
                 and not guarded):
             findings.append(Finding(
-                path, node.lineno, node.col_offset, "PD007",
-                f"fault-injection draw '{_dotted(node.func)}' is not "
-                f"guarded by a config.FAULTS check"))
+                path, node.lineno, node.col_offset, code,
+                f"{describe} '{_dotted(node.func)}' is not guarded by "
+                f"a config.{config_name} check"))
         if isinstance(node, ast.If):
             scan(node.test, guarded)
-            body_guarded = guarded or _refs_faults(node.test)
+            body_guarded = guarded or _refs_config(node.test, config_name)
             for stmt in node.body:
                 scan(stmt, body_guarded)
             for stmt in node.orelse:
@@ -397,20 +409,48 @@ def _check_fault_gating(path: str, tree: ast.AST,
             return
         if isinstance(node, ast.IfExp):
             scan(node.test, guarded)
-            scan(node.body, guarded or _refs_faults(node.test))
+            scan(node.body,
+                 guarded or _refs_config(node.test, config_name))
             scan(node.orelse, guarded)
             return
         if isinstance(node, ast.BoolOp) and isinstance(node.op, ast.And):
             chain_guarded = guarded
             for operand in node.values:
                 scan(operand, chain_guarded)
-                if _refs_faults(operand):
+                if _refs_config(operand, config_name):
                     chain_guarded = True
             return
         for child in ast.iter_child_nodes(node):
             scan(child, guarded)
 
     scan(tree, False)
+
+
+def _check_fault_gating(path: str, tree: ast.AST,
+                        findings: List[Finding]) -> None:
+    """PD007: every ``*.fires(...)`` draw is behind a FAULTS check."""
+    _check_config_gating(path, tree, findings, "FAULTS", ("fires",),
+                         "PD007", "fault-injection draw")
+
+
+#: the SpanCollector emission surface PD011 polices at call sites
+_SPAN_EMISSION_ATTRS = frozenset({"begin_span", "end_span", "instant_span",
+                                  "complete_span", "add_flow"})
+
+
+def _check_trace_gating(path: str, tree: ast.AST,
+                        findings: List[Finding]) -> None:
+    """PD011: every span emission is behind a TRACE check.
+
+    The observability subsystem itself (``repro/obs``) is exempt — the
+    collector's own methods and the exporters necessarily call the
+    emission surface unconditionally.
+    """
+    parts = os.path.normpath(path).split(os.sep)
+    if "obs" in parts:
+        return
+    _check_config_gating(path, tree, findings, "TRACE",
+                         _SPAN_EMISSION_ATTRS, "PD011", "span emission")
 
 
 # --- driver ------------------------------------------------------------------
@@ -433,6 +473,7 @@ def lint_source(source: str, path: str = "<string>") -> List[Finding]:
     _check_lock_discipline(path, tree, findings)
     _check_raw_heap(path, tree, findings)
     _check_fault_gating(path, tree, findings)
+    _check_trace_gating(path, tree, findings)
     # PD008/PD009 live in the lockdep module (they share its static
     # lock-graph walker); imported here to keep lint importable from it
     from .lockdep import check_lock_order

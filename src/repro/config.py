@@ -72,6 +72,36 @@ def enable_fault_injection(plan: object = None) -> None:
     FAULTS.plan = plan
 
 
+@dataclass
+class TraceConfig:
+    """Opt-in causal-tracing toggles (see :mod:`repro.obs`).
+
+    ``enabled`` gates every span-emission hook on the data path behind
+    a single branch, so traced-off runs stay branch-cheap and
+    bit-identical to a build without the hooks (lint rule PD011
+    enforces the gating, mirroring PD007 for faults).  ``collector``
+    holds the active :class:`~repro.obs.spans.SpanCollector` while a
+    traced run is in progress.
+    """
+
+    enabled: bool = False
+    collector: object = None
+
+
+#: the process-wide tracing configuration (mutated by
+#: ``python -m repro trace`` and tests)
+TRACE = TraceConfig()
+
+
+def enable_tracing(collector: object = None) -> None:
+    """Install a span collector for machines built after this call.
+
+    Passing ``None`` disables tracing entirely (the default state).
+    """
+    TRACE.enabled = collector is not None
+    TRACE.collector = collector
+
+
 class OSConfig(Enum):
     """Which OS stack runs the application ranks."""
 

@@ -31,9 +31,10 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from ..config import FAULTS
+from ..config import FAULTS, TRACE
 from ..errors import DriverError, FastPathUnavailable, TransientDeviceError
 from ..hw.hfi import Packet, SdmaRequestGroup
+from ..obs.spans import track_of
 from ..linux.hfi1 import ioctls as ioc
 from ..linux.hfi1.debuginfo import SDMA_STATE_S99_RUNNING
 from ..linux.hfi1.driver import Hfi1Driver
@@ -159,58 +160,75 @@ class HFIPicoDriver(PicoDriver):
         # coalesce up to the hardware max (10KB), crossing page boundaries
         descs = build_descs_from_spans(spans, nic.sdma_max_request)
 
-        engine = self.hfi.pick_engine()
-        sstate = self._view(
-            "sdma_state", self.linux_driver.engine_states[engine.index].addr)
-        if (sstate.get("go_s99_running") != 1
-                or sstate.get("current_state") != SDMA_STATE_S99_RUNNING):
-            # The fast path cannot afford the drain/restart wait and has
-            # no business driving recovery; defer to the Linux slow path,
-            # which blocks until the engine is healthy (section 3: the
-            # slow path handles everything the fast path does not).
-            lwk.tracer.count("pico.engine_not_running")
-            raise FastPathUnavailable(
-                f"SDMA engine {engine.index} not running")
-
-        meta_addr, alloc_cost = lwk.alloc.kmalloc(192, task.core_id)
-        yield sim.timeout(sc.writev_base_pico
-                          + len(spans) * sc.ptwalk_per_span
-                          + len(descs) * sc.desc_build
-                          + alloc_cost)
-        # atomic_t-style ring refcount: the Linux-side completion IRQ
-        # decrements this concurrently, so a plain read-modify-write races
-        pq.add("n_reqs", 1)
-
-        packet = Packet(kind=meta.get("kind", "eager"),
-                        src_node=self.hfi.node_id,
-                        dst_node=meta["dst_node"], dst_ctxt=meta["dst_ctxt"],
-                        nbytes=total, tag=meta.get("tag"),
-                        payload=meta.get("payload"),
-                        tids=tuple(meta.get("tids", ())),
-                        seq=meta.get("seq"), csum=meta.get("csum"))
-        group = SdmaRequestGroup(
-            descriptors=descs, packet=packet, owner_kernel="mckernel",
-            meta_addrs=[meta_addr], callback_addr=self.completion_addr,
-            user_ctx={"completion": meta.get("completion"),
-                      "pq_addr": fdata.get("pq")})
-        yield from self.linux_driver.sdma_lock.acquire("mckernel", lwk.aspace)
-        submit_exc: Optional[DriverError] = None
+        span = TRACE.collector.begin_span(
+            "pico.writev", track_of(self), cat="fastpath",
+            args={"nbytes": total, "descs": len(descs)}) \
+            if TRACE.enabled else None
         try:
-            yield from engine.submit(group)
-        except DriverError as exc:
-            # A rejected submit fires no completion; record it and fall
-            # through — the undo bookkeeping includes a timed kfree,
-            # which must not run while Linux spins on the submit lock.
-            submit_exc = exc
+            engine = self.hfi.pick_engine()
+            sstate = self._view(
+                "sdma_state",
+                self.linux_driver.engine_states[engine.index].addr)
+            if (sstate.get("go_s99_running") != 1
+                    or sstate.get("current_state") != SDMA_STATE_S99_RUNNING):
+                # The fast path cannot afford the drain/restart wait and
+                # has no business driving recovery; defer to the Linux
+                # slow path, which blocks until the engine is healthy
+                # (section 3: the slow path handles everything the fast
+                # path does not).
+                lwk.tracer.count("pico.engine_not_running")
+                raise FastPathUnavailable(
+                    f"SDMA engine {engine.index} not running")
+
+            meta_addr, alloc_cost = lwk.alloc.kmalloc(192, task.core_id)
+            yield sim.timeout(sc.writev_base_pico
+                              + len(spans) * sc.ptwalk_per_span
+                              + len(descs) * sc.desc_build
+                              + alloc_cost)
+            # atomic_t-style ring refcount: the Linux-side completion IRQ
+            # decrements this concurrently, so a plain read-modify-write
+            # races
+            pq.add("n_reqs", 1)
+
+            packet = Packet(kind=meta.get("kind", "eager"),
+                            src_node=self.hfi.node_id,
+                            dst_node=meta["dst_node"],
+                            dst_ctxt=meta["dst_ctxt"],
+                            nbytes=total, tag=meta.get("tag"),
+                            payload=meta.get("payload"),
+                            tids=tuple(meta.get("tids", ())),
+                            seq=meta.get("seq"), csum=meta.get("csum"))
+            group = SdmaRequestGroup(
+                descriptors=descs, packet=packet, owner_kernel="mckernel",
+                meta_addrs=[meta_addr], callback_addr=self.completion_addr,
+                user_ctx={"completion": meta.get("completion"),
+                          "pq_addr": fdata.get("pq")})
+            if TRACE.enabled:
+                group.trace_ctx = span
+            yield from self.linux_driver.sdma_lock.acquire("mckernel",
+                                                           lwk.aspace)
+            submit_exc: Optional[DriverError] = None
+            try:
+                yield from engine.submit(group)
+            except DriverError as exc:
+                # A rejected submit fires no completion; record it and
+                # fall through — the undo bookkeeping includes a timed
+                # kfree, which must not run while Linux spins on the
+                # submit lock.
+                submit_exc = exc
+            finally:
+                self.linux_driver.sdma_lock.release("mckernel")
+            if submit_exc is not None:
+                # Undo our bookkeeping and let the slow path redo the call.
+                pq.add("n_reqs", -1)
+                kfree_cost = lwk.alloc.kfree(meta_addr, task.core_id)
+                yield sim.timeout(kfree_cost)
+                raise FastPathUnavailable(
+                    f"pico writev submit failed: {submit_exc}") \
+                    from submit_exc
         finally:
-            self.linux_driver.sdma_lock.release("mckernel")
-        if submit_exc is not None:
-            # Undo our bookkeeping and let the slow path redo the call.
-            pq.add("n_reqs", -1)
-            kfree_cost = lwk.alloc.kfree(meta_addr, task.core_id)
-            yield sim.timeout(kfree_cost)
-            raise FastPathUnavailable(
-                f"pico writev submit failed: {submit_exc}") from submit_exc
+            if TRACE.enabled and span is not None:
+                TRACE.collector.end_span(span)
         lwk.tracer.count("pico.sdma_sends")
         lwk.tracer.record("pico.sdma_descs_per_send", len(descs))
         return total
@@ -239,9 +257,23 @@ class HFIPicoDriver(PicoDriver):
     def fast_ioctl(self, task, fd: int, cmd: int, arg):
         """Generator: the LWK-local expected-receive TID fast paths."""
         if cmd == ioc.HFI1_IOCTL_TID_UPDATE:
-            return (yield from self._tid_update(task, fd, arg))
+            span = TRACE.collector.begin_span(
+                "pico.tid_update", track_of(self), cat="fastpath") \
+                if TRACE.enabled else None
+            try:
+                return (yield from self._tid_update(task, fd, arg))
+            finally:
+                if TRACE.enabled and span is not None:
+                    TRACE.collector.end_span(span)
         if cmd == ioc.HFI1_IOCTL_TID_FREE:
-            return (yield from self._tid_free(task, fd, arg))
+            span = TRACE.collector.begin_span(
+                "pico.tid_free", track_of(self), cat="fastpath") \
+                if TRACE.enabled else None
+            try:
+                return (yield from self._tid_free(task, fd, arg))
+            finally:
+                if TRACE.enabled and span is not None:
+                    TRACE.collector.end_span(span)
         if cmd == ioc.HFI1_IOCTL_TID_INVAL_READ:
             yield self.lwk.sim.timeout(
                 self.lwk.params.syscall.tid_ioctl_base_pico)

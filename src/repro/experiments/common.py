@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from ..config import ANALYSIS, FAULTS, OSConfig
+from ..config import ANALYSIS, FAULTS, TRACE, OSConfig
 from ..core.hfi_pico import HFIPicoDriver
 from ..errors import ReproError
 from ..hw.fabric import Fabric
@@ -77,6 +77,11 @@ class Machine:
         self.nodes: List[MachineNode] = []
         for i in range(n_nodes):
             self.nodes.append(self._build_node(i, driver_version))
+        #: when ``repro.config.TRACE`` carries a collector (traced runs),
+        #: stamp trace tracks onto the kernels/devices and point the
+        #: collector at this machine's clock
+        if TRACE.enabled:
+            TRACE.collector.attach_machine(self)
 
     def race_reports(self):
         """All cross-kernel races found by this machine's detectors."""

@@ -11,8 +11,9 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict
 
-from ..config import FAULTS
+from ..config import FAULTS, TRACE
 from ..errors import ReproError
+from ..obs.spans import track_of
 from ..params import NicParams
 from ..sim import Simulator
 from .hfi import HFIDevice, Packet
@@ -53,5 +54,13 @@ class Fabric:
         if packet.dst_node == packet.src_node:
             dst.receive(packet)
             return
+        if TRACE.enabled:
+            wire = TRACE.collector.complete_span(
+                "fabric.wire", track_of(self), self.sim.now,
+                self.sim.now + self.params.wire_latency, cat="wire",
+                args={"kind": packet.kind, "nbytes": packet.nbytes,
+                      "src": packet.src_node, "dst": packet.dst_node},
+                flow_from=packet.trace)
+            packet = replace(packet, trace=wire)
         self.sim.timeout(self.params.wire_latency).add_callback(
             lambda _evt: dst.receive(packet))

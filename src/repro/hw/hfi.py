@@ -21,12 +21,13 @@ per-descriptor overhead times the descriptor count is what separates a
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..analysis.lockdep import irq_enter, irq_exit
-from ..config import FAULTS
+from ..config import FAULTS, TRACE
 from ..errors import DriverError, ReproError
+from ..obs.spans import track_of
 from ..params import NicParams
 from ..sim import Event, Resource, Simulator, Store, Tracer
 
@@ -60,6 +61,9 @@ class SdmaRequestGroup:
     #: opaque context threaded to the completion callback (completion
     #: events, struct views, ...)
     user_ctx: object = None
+    #: traced runs only: the submitting span (``hfi1.writev`` /
+    #: ``pico.writev``), the flow source for descriptor and IRQ spans
+    trace_ctx: object = None
 
     @property
     def total_bytes(self) -> int:
@@ -93,6 +97,9 @@ class Packet:
     seq: object = None
     #: payload integrity checksum (chaos runs only; ``None`` otherwise)
     csum: Optional[int] = None
+    #: traced runs only: the span that put this packet on the wire (not
+    #: part of the message identity; excluded from the checksum)
+    trace: object = None
 
 
 class RcvContext:
@@ -140,7 +147,9 @@ class SdmaEngine:
         self.device = device
         self.index = index
         self.ring_size = device.params.sdma_ring_size
-        self._ring: Deque[Tuple[SdmaDescriptor, SdmaRequestGroup, bool]] = deque()
+        #: ring slots: (descriptor, group, is-last-of-group, trace span)
+        self._ring: Deque[Tuple[SdmaDescriptor, SdmaRequestGroup, bool,
+                                object]] = deque()
         self._space_waiters: Deque[Event] = deque()
         self._work = Store(sim, name=f"sdma{index}.work")
         self._proc = sim.process(self._run())
@@ -199,7 +208,13 @@ class SdmaEngine:
                 waiter = Event(self.sim)
                 self._space_waiters.append(waiter)
                 yield waiter
-            self._ring.append((desc, group, i == last_idx))
+            # Span = descriptor lifetime on the ring (enqueue to drain);
+            # it nests under the submitting writev span via the lane.
+            dspan = TRACE.collector.begin_span(
+                "sdma.desc", track_of(self), cat="sdma",
+                args={"nbytes": desc.nbytes, "kind": group.packet.kind},
+                detached=True) if TRACE.enabled else None
+            self._ring.append((desc, group, i == last_idx, dspan))
             if len(self._ring) == 1 and not self.busy:
                 self._work.put(None)  # kick the engine
 
@@ -216,7 +231,9 @@ class SdmaEngine:
             # Drain the current ring contents in one serialization burst.
             with self.device.egress.request() as port:
                 yield port
-                burst: List[Tuple[SdmaDescriptor, SdmaRequestGroup, bool]] = []
+                t0 = self.sim.now
+                burst: List[Tuple[SdmaDescriptor, SdmaRequestGroup, bool,
+                                  object, float]] = []
                 t = 0.0
                 while self._ring:
                     inj = self.device.injector
@@ -228,15 +245,22 @@ class SdmaEngine:
                         self.halt("spontaneous engine freeze")
                     if self.halted:
                         break
-                    desc, group, is_last = self._ring.popleft()
-                    burst.append((desc, group, is_last))
+                    desc, group, is_last, dspan = self._ring.popleft()
                     t += params.sdma_desc_overhead + desc.nbytes / params.link_bandwidth
+                    burst.append((desc, group, is_last, dspan, t))
                 yield self.sim.timeout(t)
             self.busy = False
-            for desc, group, is_last in burst:
+            for desc, group, is_last, dspan, t_done in burst:
                 self.device.tracer.count("hfi.sdma_descs")
                 self.device.tracer.record("hfi.sdma_desc_bytes", desc.nbytes)
+                if TRACE.enabled and dspan is not None:
+                    # each descriptor leaves the wire at its own point in
+                    # the burst, not at the shared burst-end timestamp
+                    dspan.end = t0 + t_done
                 if is_last:
+                    if TRACE.enabled and dspan is not None:
+                        # hand the last descriptor's span to the wire/IRQ
+                        group.packet = replace(group.packet, trace=dspan)
                     self.device._transmit(group.packet)
                     self.device.raise_irq(group)
             while self._space_waiters and self.free_slots > 0:
@@ -287,7 +311,7 @@ class HFIDevice:
         context (the driver must quiesce its transfers first).
         """
         inflight = sum(
-            1 for eng in self.engines for _d, group, is_last in eng._ring
+            1 for eng in self.engines for _d, group, is_last, _s in eng._ring
             if is_last and group.packet.dst_node == self.node_id
             and group.packet.dst_ctxt == ctxt.ctxt_id)
         if inflight:
@@ -326,11 +350,22 @@ class HFIDevice:
             # PSM would never do this, but the hardware allows it; account
             # honestly instead of rejecting.
             self.tracer.count("hfi.pio_oversize")
-        with self.egress.request() as port:
-            yield port
-            yield self.sim.timeout(self.params.pio_overhead
-                                   + packet.nbytes / self.params.pio_bandwidth)
+        span = TRACE.collector.begin_span(
+            "hfi.pio", track_of(self), cat="pio",
+            args={"kind": packet.kind, "nbytes": packet.nbytes}) \
+            if TRACE.enabled else None
+        try:
+            with self.egress.request() as port:
+                yield port
+                yield self.sim.timeout(
+                    self.params.pio_overhead
+                    + packet.nbytes / self.params.pio_bandwidth)
+        finally:
+            if TRACE.enabled and span is not None:
+                TRACE.collector.end_span(span)
         self.tracer.count("hfi.pio_msgs")
+        if TRACE.enabled and span is not None:
+            packet = replace(packet, trace=span)
         self._transmit(packet)
 
     # -- RcvArray / TIDs -------------------------------------------------------

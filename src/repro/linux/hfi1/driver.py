@@ -16,11 +16,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ...config import FAULTS
+from ...config import FAULTS, TRACE
 from ...core.lockclasses import declare_lock_class
 from ...core.structs import StructInstance
 from ...errors import BadSyscall, DriverError, TransientDeviceError
 from ...hw.hfi import Packet, RcvContext, SdmaRequestGroup
+from ...obs.spans import track_of
 from ...sim import Event
 from ...units import PAGE_SIZE, USEC
 from ..vfs import File, FileOps
@@ -224,13 +225,23 @@ class Hfi1Driver(FileOps):
         group = SdmaRequestGroup(descriptors=descs, packet=packet,
                                  on_complete=complete, owner_kernel="linux",
                                  meta_addrs=[meta_addr])
-        engine = self.hfi.pick_engine()
-        yield from self._await_engine_running(engine)
-        yield from self.sdma_lock.acquire("linux", kernel.aspace)
+        span = TRACE.collector.begin_span(
+            "hfi1.writev", track_of(self), cat="driver",
+            args={"nbytes": total, "descs": len(descs)}) \
+            if TRACE.enabled else None
+        if TRACE.enabled:
+            group.trace_ctx = span
         try:
-            yield from engine.submit(group)
+            engine = self.hfi.pick_engine()
+            yield from self._await_engine_running(engine)
+            yield from self.sdma_lock.acquire("linux", kernel.aspace)
+            try:
+                yield from engine.submit(group)
+            finally:
+                self.sdma_lock.release("linux")
         finally:
-            self.sdma_lock.release("linux")
+            if TRACE.enabled and span is not None:
+                TRACE.collector.end_span(span)
         return total
 
     # -- ioctl surface -------------------------------------------------------------
@@ -384,6 +395,13 @@ class Hfi1Driver(FileOps):
 
     def _sdma_complete(self, group: SdmaRequestGroup):
         """Runs on a Linux OS CPU in IRQ context."""
+        if TRACE.enabled:
+            # flows from the submitting writev span; completion waiters
+            # (PSM send-side) flow from this instant in turn
+            group.trace_ctx = TRACE.collector.instant_span(
+                "hfi1.irq", getattr(self, "trace_irq_track", "irq"),
+                cat="irq", args={"nbytes": group.total_bytes},
+                flow_from=group.trace_ctx)
         if group.callback_addr is not None:
             if self.callbacks is None:
                 raise DriverError("completion carries a callback address "

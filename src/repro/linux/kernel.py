@@ -10,8 +10,10 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..config import TRACE
 from ..errors import BadSyscall
 from ..hw.node import Node
+from ..obs.spans import track_of
 from ..kernels.base import KernelBase, Task
 from ..params import Params
 from ..sim import Resource, Simulator, Tracer
@@ -84,8 +86,15 @@ class LinuxKernel(KernelBase):
     def syscall(self, task: Task, name: str, *args):
         """Generator: entry cost + dispatch + per-call accounting."""
         t0 = self.sim.now
-        yield self.sim.timeout(self.params.syscall.linux_entry)
-        ret = yield from self._dispatch(task, name, args)
+        span = TRACE.collector.begin_span(
+            f"linux.{name}", track_of(self), cat="syscall",
+            args={"task": task.name}) if TRACE.enabled else None
+        try:
+            yield self.sim.timeout(self.params.syscall.linux_entry)
+            ret = yield from self._dispatch(task, name, args)
+        finally:
+            if TRACE.enabled and span is not None:
+                TRACE.collector.end_span(span)
         self.account_syscall(name, self.sim.now - t0)
         return ret
 

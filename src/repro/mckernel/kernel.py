@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from ..config import TRACE
 from ..core.lockclasses import declare_lock_class
 from ..core.picodriver import PicoDriverRegistry
 from ..errors import BadSyscall, FastPathUnavailable, ReproError
@@ -25,6 +26,7 @@ from ..ihk.partition import IhkPartition
 from ..kernels.base import KernelBase, Task
 from ..linux.kernel import LinuxKernel
 from ..linux.vfs import File
+from ..obs.spans import track_of
 from ..params import Params
 from ..sim import Simulator, Tracer
 from ..units import pages_for
@@ -133,8 +135,15 @@ class McKernel(KernelBase):
     def syscall(self, task: Task, name: str, *args):
         """Generator: LWK entry cost + routing + per-call accounting."""
         t0 = self.sim.now
-        yield self.sim.timeout(self.params.syscall.lwk_entry)
-        ret = yield from self._dispatch(task, name, args)
+        span = TRACE.collector.begin_span(
+            f"lwk.{name}", track_of(self), cat="syscall",
+            args={"task": task.name}) if TRACE.enabled else None
+        try:
+            yield self.sim.timeout(self.params.syscall.lwk_entry)
+            ret = yield from self._dispatch(task, name, args)
+        finally:
+            if TRACE.enabled and span is not None:
+                TRACE.collector.end_span(span)
         self.account_syscall(name, self.sim.now - t0)
         return ret
 
@@ -182,6 +191,10 @@ class McKernel(KernelBase):
                         # the call over the offload path.
                         self.tracer.count("pico.fallbacks")
                         self.tracer.count(f"pico.fallback.{name}")
+                        if TRACE.enabled:
+                            TRACE.collector.instant_span(
+                                "pico.fallback", track_of(self),
+                                cat="recovery", args={"syscall": name})
                         ret = yield from self._offload(task, name, args)
                         return ret
                 if name == "close":
@@ -201,5 +214,13 @@ class McKernel(KernelBase):
     def _offload(self, task: Task, name: str, args: tuple):
         self.tracer.count("offload.calls")
         proxy = self.proxy_for(task)
-        ret = yield from self.ikc.call(proxy.linux_task, name, args)
+        span = TRACE.collector.begin_span(
+            f"ikc.offload.{name}", track_of(self), cat="offload",
+            args=proxy.trace_identity()) if TRACE.enabled else None
+        try:
+            ret = yield from self.ikc.call(proxy.linux_task, name, args,
+                                           cause=span)
+        finally:
+            if TRACE.enabled and span is not None:
+                TRACE.collector.end_span(span)
         return ret

@@ -23,6 +23,10 @@ class ProxyProcess:
     def name(self) -> str:
         return self.linux_task.name
 
+    def trace_identity(self) -> dict:
+        """Span args identifying this proxy pair in a trace."""
+        return {"proxy": self.name, "app": self.mck_task.name}
+
     def fd_table(self):
         """The *Linux* fd table — the single source of truth for open
         files of the McKernel process."""

@@ -1,0 +1,133 @@
+"""Critical-path extraction over the span store.
+
+Walks backward from a message-completion span along flow edges and
+parent links, at each step picking the predecessor that handed off
+*latest* — the one actually responsible for when the current span could
+make progress.  The result is a contiguous chain of segments covering
+``[path start, completion]``, each attributed to one span, which makes
+the paper's mechanism claims directly visible: the McKernel offload
+path contains ``offload``-category segments (the IKC hop), the
+PicoDriver path replaces them with ``fastpath`` segments, and the wire
+and SDMA segments show the 4 KB vs. 10 KB descriptor economics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..units import fmt_size
+from .spans import Span, SpanCollector
+
+
+@dataclass
+class Segment:
+    """One contiguous slice of the critical path, owned by one span."""
+
+    span: Span
+    t0: float
+    t1: float
+
+    @property
+    def duration(self) -> float:
+        """Slice length in simulated seconds."""
+        return self.t1 - self.t0
+
+
+def message_completion(collector: SpanCollector, label: str,
+                       nbytes: Optional[int] = None) -> Optional[Span]:
+    """The latest ``psm.msg_complete`` span for one OS-config label.
+
+    ``nbytes`` filters on the completed message size; ``None`` picks the
+    largest message seen (fig4's 4 MiB point).
+    """
+    spans = collector.find(name="psm.msg_complete",
+                           track_prefix=f"{label}/")
+    if nbytes is None and spans:
+        nbytes = max((s.args or {}).get("nbytes", 0) for s in spans)
+    spans = [s for s in spans if (s.args or {}).get("nbytes") == nbytes]
+    return spans[-1] if spans else None
+
+
+def critical_path(collector: SpanCollector, target: Span) -> List[Segment]:
+    """The backward critical-path walk ending at ``target``.
+
+    Predecessors of a span are its incoming flow edges plus its parent.
+    Each predecessor's *hand-off time* is clamped to the current span's
+    start (a flow source may still be open, and a parent by definition
+    encloses its child); the predecessor with the latest hand-off wins,
+    ties preferring flow edges over the enclosing parent.  The walk
+    stops at a span with no predecessors or on a revisit (cycle guard).
+    """
+    by_sid: Dict[int, Span] = {s.sid: s for s in collector.spans}
+    incoming: Dict[int, List[int]] = {}
+    for _fid, src_sid, dst_sid in collector.flows:
+        incoming.setdefault(dst_sid, []).append(src_sid)
+
+    segments: List[Segment] = []
+    cur: Optional[Span] = target
+    t_hi = target.end if target.end is not None else target.start
+    visited = set()
+    while cur is not None and cur.sid not in visited:
+        visited.add(cur.sid)
+        best = None  # (handoff, is_flow, pred_start, pred)
+        for src_sid in incoming.get(cur.sid, ()):
+            pred = by_sid.get(src_sid)
+            if pred is None:
+                continue
+            p_end = pred.end if pred.end is not None else pred.start
+            key = (min(p_end, cur.start), 1, pred.start)
+            if best is None or key > best[:3]:
+                best = key + (pred,)
+        if cur.parent is not None:
+            pred = by_sid.get(cur.parent)
+            if pred is not None:
+                key = (cur.start, 0, pred.start)
+                if best is None or key > best[:3]:
+                    best = key + (pred,)
+        t_lo = cur.start if best is None else best[0]
+        t_lo = min(t_lo, t_hi)
+        segments.append(Segment(cur, t_lo, t_hi))
+        if best is None:
+            break
+        cur, t_hi = best[3], t_lo
+    segments.reverse()
+    return segments
+
+
+def breakdown_by_category(segments: List[Segment]) -> Dict[str, float]:
+    """Total critical-path seconds per span category, insertion-ordered."""
+    totals: Dict[str, float] = {}
+    for seg in segments:
+        cat = seg.span.cat or "other"
+        totals[cat] = totals.get(cat, 0.0) + seg.duration
+    return totals
+
+
+def render_breakdown(collector: SpanCollector, label: str,
+                     nbytes: Optional[int] = None) -> str:
+    """Human-readable per-segment latency breakdown for one config.
+
+    Picks the completion span via :func:`message_completion`, walks the
+    critical path and prints each segment plus per-category totals.
+    """
+    target = message_completion(collector, label, nbytes)
+    if target is None:
+        return f"{label}: no completed message found in trace"
+    segments = critical_path(collector, target)
+    size = (target.args or {}).get("nbytes", 0)
+    total = segments[-1].t1 - segments[0].t0 if segments else 0.0
+    lines = [f"critical path — {label}, {fmt_size(size)} message "
+             f"({total * 1e6:.2f} us, {len(segments)} segments)",
+             f"  {'start us':>12}  {'dur us':>10}  {'cat':<9} span"]
+    for seg in segments:
+        lines.append(f"  {seg.t0 * 1e6:>12.3f}  "
+                     f"{seg.duration * 1e6:>10.3f}  "
+                     f"{seg.span.cat or '-':<9} "
+                     f"{seg.span.name} [{seg.span.track}]")
+    cats = breakdown_by_category(segments)
+    lines.append("  per-category: " + "  ".join(
+        f"{cat}={secs * 1e6:.3f}us"
+        for cat, secs in sorted(cats.items(),
+                                key=lambda kv: -kv[1])))
+    return "\n".join(lines)

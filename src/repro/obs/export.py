@@ -1,0 +1,107 @@
+"""Chrome-trace / Perfetto JSON export for the span store.
+
+Produces the Chrome Trace Event JSON format (the array-of-events form
+wrapped in ``{"traceEvents": [...]}``), loadable in ``chrome://tracing``
+and https://ui.perfetto.dev.  Each span track maps to a (pid, tid)
+pair: the ``pid`` groups everything up to the last ``/`` of the track
+name (``McKernel+HFI1/node0``), the ``tid`` is the final segment
+(``lwk``, ``sdma0``, ``irq``, ...), so one process row per node with
+one thread lane per kernel/engine.
+
+Events emitted: ``M`` (process/thread names), ``X`` (complete spans,
+microsecond ``ts``/``dur``), and ``s``/``f`` flow pairs sharing a
+globally unique integer ``id`` for every causal edge.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Tuple
+
+from .spans import SpanCollector
+
+#: simulated seconds -> Chrome trace microseconds
+_US = 1e6
+
+
+def _split_track(track: str) -> Tuple[str, str]:
+    """Split ``"A/B/C"`` into the process name ``"A/B"`` and thread ``"C"``."""
+    if "/" in track:
+        head, tail = track.rsplit("/", 1)
+        return head, tail
+    return track, track
+
+
+def _json_args(args: Any) -> Dict[str, Any]:
+    """Coerce span args into a JSON-safe flat dict (repr for the rest)."""
+    if not args:
+        return {}
+    out: Dict[str, Any] = {}
+    for key, value in args.items():
+        if isinstance(value, (int, float, str, bool)) or value is None:
+            out[str(key)] = value
+        else:
+            out[str(key)] = repr(value)
+    return out
+
+
+def chrome_trace_events(collector: SpanCollector) -> List[dict]:
+    """The flat Chrome Trace Event list for ``collector``'s spans."""
+    tracks = sorted({s.track for s in collector.spans})
+    pids: Dict[str, int] = {}
+    tids: Dict[str, Tuple[int, int]] = {}
+    for track in tracks:
+        pname, tname = _split_track(track)
+        pid = pids.setdefault(pname, len(pids) + 1)
+        tids[track] = (pid, len([t for t in tids
+                                 if tids[t][0] == pid]) + 1)
+
+    events: List[dict] = []
+    for pname, pid in sorted(pids.items(), key=lambda kv: kv[1]):
+        events.append({"ph": "M", "name": "process_name", "pid": pid,
+                       "tid": 0, "args": {"name": pname}})
+    for track in tracks:
+        pid, tid = tids[track]
+        events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                       "tid": tid, "args": {"name": _split_track(track)[1]}})
+
+    by_sid = {}
+    for span in collector.spans:
+        by_sid[span.sid] = span
+        pid, tid = tids[span.track]
+        end = span.end if span.end is not None else span.start
+        events.append({
+            "ph": "X", "name": span.name, "cat": span.cat or "span",
+            "pid": pid, "tid": tid,
+            "ts": span.start * _US, "dur": (end - span.start) * _US,
+            "args": dict(_json_args(span.args), sid=span.sid),
+        })
+
+    for fid, src_sid, dst_sid in collector.flows:
+        src = by_sid.get(src_sid)
+        dst = by_sid.get(dst_sid)
+        if src is None or dst is None:
+            continue
+        spid, stid = tids[src.track]
+        dpid, dtid = tids[dst.track]
+        src_end = src.end if src.end is not None else src.start
+        events.append({"ph": "s", "id": fid, "name": "flow",
+                       "cat": src.cat or "span", "pid": spid, "tid": stid,
+                       "ts": src_end * _US})
+        events.append({"ph": "f", "id": fid, "name": "flow", "bp": "e",
+                       "cat": dst.cat or "span", "pid": dpid, "tid": dtid,
+                       "ts": dst.start * _US})
+    return events
+
+
+def export_chrome_trace(collector: SpanCollector) -> dict:
+    """The full Chrome trace document (object form) for ``collector``."""
+    return {"traceEvents": chrome_trace_events(collector),
+            "displayTimeUnit": "ns"}
+
+
+def write_chrome_trace(collector: SpanCollector, path: str) -> str:
+    """Serialize the trace to ``path`` as JSON; returns ``path``."""
+    with open(path, "w") as fh:
+        json.dump(export_chrome_trace(collector), fh, indent=1)
+    return path

@@ -11,12 +11,13 @@ from __future__ import annotations
 
 from typing import Dict, NamedTuple, Optional, Tuple
 
-from ..config import FAULTS
+from ..config import FAULTS, TRACE
 from ..errors import (DeviceTimeout, ReproError, TransferCorrupt,
                       TransientDeviceError)
 from ..hw.hfi import HFIDevice, Packet
 from ..kernels.base import Task
 from ..linux.hfi1 import ioctls as ioc
+from ..obs.spans import track_of
 from ..params import Params
 from ..sim import Event, Simulator, Tracer
 from .mq import MatchedQueue, MqRequest, TagMatcher, UnexpectedMessage
@@ -101,6 +102,20 @@ class Endpoint:
         if self.addr is None:
             raise ReproError("endpoint not open")
         req = MqRequest(self.sim, "send")
+        span = TRACE.collector.begin_span(
+            "psm.isend", track_of(self.task.kernel), cat="psm",
+            args={"nbytes": nbytes}) if TRACE.enabled else None
+        try:
+            ret = yield from self._isend(dest, tag, buffer, nbytes,
+                                         payload, req)
+        finally:
+            if TRACE.enabled and span is not None:
+                TRACE.collector.end_span(span)
+        return ret
+
+    def _isend(self, dest: EndpointAddress, tag, buffer: int, nbytes: int,
+               payload, req: MqRequest):
+        """Generator: protocol selection + initiation (see mq_isend)."""
         yield self.sim.timeout(self.params.psm.mq_overhead)
         if nbytes <= self.params.nic.pio_threshold:
             seq = csum = None
@@ -199,6 +214,10 @@ class Endpoint:
     # -- packet demux (called at wire arrival) ----------------------------------------
 
     def _rx_packet(self, pkt: Packet) -> None:
+        rx = TRACE.collector.instant_span(
+            f"psm.rx_{pkt.kind}", track_of(self.task.kernel), cat="psm",
+            args={"nbytes": pkt.nbytes}, flow_from=pkt.trace) \
+            if TRACE.enabled else None
         if FAULTS.enabled and pkt.csum is not None:
             if pkt.csum != packet_checksum(pkt.kind, pkt.tag, pkt.nbytes,
                                            pkt.seq, pkt.payload):
@@ -226,7 +245,7 @@ class Endpoint:
             req = self.mq.match_arrival(src, tag)
             if req is not None:
                 self.sim.process(self._eager_deliver(
-                    req, src, tag, pkt.nbytes, pkt.payload))
+                    req, src, tag, pkt.nbytes, pkt.payload, cause=rx))
             else:
                 self.mq.add_unexpected(UnexpectedMessage(
                     src, tag, pkt.nbytes, payload=pkt.payload))
@@ -248,7 +267,7 @@ class Endpoint:
                 self._seen_rts.add(rts.msg_id)
             req = self.mq.match_arrival(rts.source, rts.tag)
             if req is not None:
-                self._start_recv_flow(rts, req, req.buffer)
+                self._start_recv_flow(rts, req, req.buffer, cause=rx)
             else:
                 self.mq.add_unexpected(UnexpectedMessage(
                     rts.source, rts.tag, rts.total, rts=rts))
@@ -258,16 +277,17 @@ class Endpoint:
             flow = self._send_flows.get(cts.msg_id)
             if flow is not None:
                 flow.cts_seen += 1
-            self.tx.submit(self._send_window(cts))
+            self.tx.submit(self._send_window(cts, cause=rx))
         elif pkt.kind == "expected":
             _, msg_id, widx = pkt.tag
-            self._window_arrived(msg_id, widx)
+            self._window_arrived(msg_id, widx, cause=rx)
         else:
             raise ReproError(f"unknown packet kind {pkt.kind!r}")
 
     # -- eager data path -----------------------------------------------------------------
 
-    def _eager_deliver(self, req: MqRequest, src, tag, nbytes, payload):
+    def _eager_deliver(self, req: MqRequest, src, tag, nbytes, payload,
+                       cause=None):
         """Copy from library buffers to the application buffer.
 
         The copy is pipelined with arrival (PSM copies fragment by
@@ -277,7 +297,19 @@ class Endpoint:
         link_bw = self.params.nic.link_bandwidth
         tail = min(nbytes, 8192) / copy_bw
         lag = max(0.0, nbytes * (1.0 / copy_bw - 1.0 / link_bw))
-        yield self.sim.timeout(self.params.psm.mq_overhead + tail + lag)
+        span = TRACE.collector.begin_span(
+            "psm.eager_copy", track_of(self.task.kernel), cat="psm",
+            args={"nbytes": nbytes}, flow_from=cause) \
+            if TRACE.enabled else None
+        try:
+            yield self.sim.timeout(self.params.psm.mq_overhead + tail + lag)
+        finally:
+            if TRACE.enabled and span is not None:
+                TRACE.collector.end_span(span)
+        if TRACE.enabled:
+            TRACE.collector.instant_span(
+                "psm.msg_complete", track_of(self.task.kernel), cat="psm",
+                args={"nbytes": nbytes}, flow_from=span)
         req.complete(src, tag, nbytes, payload)
 
     # -- reliability daemons (active only under fault injection) ---------------------------
@@ -304,6 +336,10 @@ class Endpoint:
             if entry is None:
                 return
             self.tracer.count("psm.retransmits")
+            if TRACE.enabled:
+                TRACE.collector.instant_span(
+                    "psm.retransmit", track_of(self.task.kernel),
+                    cat="recovery", args={"kind": "eager"})
             if entry["via"] == "pio":
                 yield from self.hfi.pio_send(entry["pkt"])
             else:
@@ -330,6 +366,10 @@ class Endpoint:
                     or flow.msg_id not in self._send_flows):
                 return
             self.tracer.count("psm.retransmits")
+            if TRACE.enabled:
+                TRACE.collector.instant_span(
+                    "psm.retransmit", track_of(self.task.kernel),
+                    cat="recovery", args={"kind": "rts"})
             yield from self.hfi.pio_send(pkt)
             timeout *= psm.retry_backoff
         if (flow.cts_seen or flow.finished
@@ -355,6 +395,10 @@ class Endpoint:
                 return
             self.tracer.count("psm.retransmits")
             self.tracer.count("psm.cts_resends")
+            if TRACE.enabled:
+                TRACE.collector.instant_span(
+                    "psm.retransmit", track_of(self.task.kernel),
+                    cat="recovery", args={"kind": "cts_regrant"})
             yield from self.hfi.pio_send(pkt)
             timeout *= psm.retry_backoff
         if w in flow.arrived_windows or msg_id not in self._recv_flows:
@@ -378,7 +422,8 @@ class Endpoint:
     # -- rendezvous receive side -------------------------------------------------------------
 
     def _start_recv_flow(self, rts: Rts, req: MqRequest,
-                         buffer: Optional[Tuple[int, int]]) -> None:
+                         buffer: Optional[Tuple[int, int]],
+                         cause=None) -> None:
         if buffer is None:
             raise ReproError(
                 f"rendezvous message {rts.msg_id} needs a posted buffer")
@@ -389,6 +434,9 @@ class Endpoint:
         flow = RecvFlow(rts=rts, buffer=vaddr, request=req,
                         windows=window_count(rts.total,
                                              self.params.psm.window_size))
+        if TRACE.enabled:
+            # window-registration jobs flow from the RTS arrival instant
+            flow.trace_cause = cause
         self._recv_flows[rts.msg_id] = flow
         for _ in range(min(self.params.psm.prefetch_windows, flow.windows)):
             self._register_next(flow)
@@ -408,40 +456,52 @@ class Endpoint:
         the flow's request instead of raising."""
         offset, length = window_extent(flow.rts.total,
                                        self.params.psm.window_size, w)
-        yield self.sim.timeout(self.params.psm.rndv_window_overhead)
-        psm = self.params.psm
-        attempts = 0
-        while True:
-            try:
-                tids = yield from self.task.syscall(
-                    "ioctl", self.fd, ioc.HFI1_IOCTL_TID_UPDATE,
-                    {"vaddr": flow.buffer + offset, "length": length})
-                break
-            except TransientDeviceError as exc:
-                attempts += 1
-                self.tracer.count("psm.tid_retries")
-                if attempts >= psm.max_retries:
-                    self._fail_recv_flow(flow, DeviceTimeout(
-                        f"TID_UPDATE for {flow.rts.msg_id} window {w} "
-                        f"kept failing: {exc}"))
-                    return
-                yield self.sim.timeout(
-                    psm.retry_timeout * psm.retry_backoff ** (attempts - 1))
-        flow.tids_by_window[w] = tuple(tids)
-        self.tracer.record("psm.tids_per_window", len(tids))
-        cts = Cts(flow.rts.msg_id, w, offset, length, tuple(tids), self.addr)
-        csum = (packet_checksum("cts", None, self.params.psm.ctrl_bytes,
-                                None, cts) if FAULTS.enabled else None)
-        pkt = Packet(kind="cts", src_node=self.addr.node_id,
-                     dst_node=flow.rts.source.node_id,
-                     dst_ctxt=flow.rts.source.ctxt_id,
-                     nbytes=self.params.psm.ctrl_bytes, payload=cts,
-                     csum=csum)
-        yield from self.hfi.pio_send(pkt)
+        span = TRACE.collector.begin_span(
+            "psm.tid_window", track_of(self.task.kernel), cat="psm",
+            args={"window": w, "nbytes": length},
+            flow_from=getattr(flow, "trace_cause", None)) \
+            if TRACE.enabled else None
+        try:
+            yield self.sim.timeout(self.params.psm.rndv_window_overhead)
+            psm = self.params.psm
+            attempts = 0
+            while True:
+                try:
+                    tids = yield from self.task.syscall(
+                        "ioctl", self.fd, ioc.HFI1_IOCTL_TID_UPDATE,
+                        {"vaddr": flow.buffer + offset, "length": length})
+                    break
+                except TransientDeviceError as exc:
+                    attempts += 1
+                    self.tracer.count("psm.tid_retries")
+                    if attempts >= psm.max_retries:
+                        self._fail_recv_flow(flow, DeviceTimeout(
+                            f"TID_UPDATE for {flow.rts.msg_id} window {w} "
+                            f"kept failing: {exc}"))
+                        return
+                    yield self.sim.timeout(
+                        psm.retry_timeout
+                        * psm.retry_backoff ** (attempts - 1))
+            flow.tids_by_window[w] = tuple(tids)
+            self.tracer.record("psm.tids_per_window", len(tids))
+            cts = Cts(flow.rts.msg_id, w, offset, length, tuple(tids),
+                      self.addr)
+            csum = (packet_checksum("cts", None, self.params.psm.ctrl_bytes,
+                                    None, cts) if FAULTS.enabled else None)
+            pkt = Packet(kind="cts", src_node=self.addr.node_id,
+                         dst_node=flow.rts.source.node_id,
+                         dst_ctxt=flow.rts.source.ctxt_id,
+                         nbytes=self.params.psm.ctrl_bytes, payload=cts,
+                         csum=csum)
+            yield from self.hfi.pio_send(pkt)
+        finally:
+            if TRACE.enabled and span is not None:
+                TRACE.collector.end_span(span)
         if FAULTS.enabled:
             self.sim.process(self._cts_watchdog(flow, w, pkt))
 
-    def _window_arrived(self, msg_id: Tuple, widx: int) -> None:
+    def _window_arrived(self, msg_id: Tuple, widx: int,
+                        cause=None) -> None:
         flow = self._recv_flows.get(msg_id)
         if flow is None:
             # Under fault injection a retransmitted window can land after
@@ -463,6 +523,11 @@ class Endpoint:
         self._register_next(flow)
         if flow.all_arrived():
             del self._recv_flows[msg_id]
+            if TRACE.enabled:
+                TRACE.collector.instant_span(
+                    "psm.msg_complete", track_of(self.task.kernel),
+                    cat="psm", args={"nbytes": flow.rts.total},
+                    flow_from=cause)
             flow.request.complete(flow.rts.source, flow.rts.tag,
                                   flow.rts.total, flow.rts.payload)
 
@@ -472,7 +537,7 @@ class Endpoint:
 
     # -- rendezvous send side ------------------------------------------------------------------
 
-    def _send_window(self, cts: Cts):
+    def _send_window(self, cts: Cts, cause=None):
         """tx-worker job: SDMA writev for one granted window."""
         flow = self._send_flows.get(cts.msg_id)
         if flow is None:
@@ -482,22 +547,33 @@ class Endpoint:
                 self.tracer.count("psm.stale_cts")
                 return
             raise ReproError(f"CTS for unknown message {cts.msg_id}")
-        done = Event(self.sim)
-        meta = {"dst_node": cts.dest.node_id, "dst_ctxt": cts.dest.ctxt_id,
-                "kind": "expected", "tids": cts.tids,
-                "tag": ("win", cts.msg_id, cts.window), "completion": done}
-        if FAULTS.enabled:
-            meta["csum"] = packet_checksum(
-                "expected", ("win", cts.msg_id, cts.window), cts.length,
-                None, None)
-        yield from self.task.syscall(
-            "writev", self.fd,
-            [meta, (flow.buffer + cts.offset, cts.length)])
-        flow.submitted += 1
+        span = TRACE.collector.begin_span(
+            "psm.send_window", track_of(self.task.kernel), cat="psm",
+            args={"window": cts.window, "nbytes": cts.length},
+            flow_from=cause) if TRACE.enabled else None
+        try:
+            done = Event(self.sim)
+            meta = {"dst_node": cts.dest.node_id,
+                    "dst_ctxt": cts.dest.ctxt_id,
+                    "kind": "expected", "tids": cts.tids,
+                    "tag": ("win", cts.msg_id, cts.window),
+                    "completion": done}
+            if FAULTS.enabled:
+                meta["csum"] = packet_checksum(
+                    "expected", ("win", cts.msg_id, cts.window), cts.length,
+                    None, None)
+            yield from self.task.syscall(
+                "writev", self.fd,
+                [meta, (flow.buffer + cts.offset, cts.length)])
+            flow.submitted += 1
+        finally:
+            if TRACE.enabled and span is not None:
+                TRACE.collector.end_span(span)
         done.add_callback(
-            lambda _e: self._sdma_complete(flow, cts.window))
+            lambda e: self._sdma_complete(flow, cts.window, e))
 
-    def _sdma_complete(self, flow: SendFlow, window: int) -> None:
+    def _sdma_complete(self, flow: SendFlow, window: int,
+                       evt=None) -> None:
         if not flow.window_complete(window):
             return
         if flow.finished:
@@ -507,4 +583,10 @@ class Endpoint:
         # late re-CTS can still be answered with a fresh submission.
         if not FAULTS.enabled:
             del self._send_flows[flow.msg_id]
+        if TRACE.enabled:
+            group = getattr(evt, "_value", None)
+            TRACE.collector.instant_span(
+                "psm.send_complete", track_of(self.task.kernel), cat="psm",
+                args={"nbytes": flow.total},
+                flow_from=getattr(group, "trace_ctx", None))
         flow.request.complete(self.addr, None, flow.total)

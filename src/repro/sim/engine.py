@@ -137,6 +137,12 @@ class Simulator:
         #: opt-in wait observer (the lockdep validator): notified of every
         #: positive-delay timeout so held-across-wait hazards are caught
         self.wait_monitor = None
+        #: the :class:`~repro.sim.process.Process` whose generator is
+        #: currently executing, or ``None`` between steps / in bare event
+        #: callbacks.  The tracer keys its span stacks on this so spans
+        #: opened by concurrent processes (progress workers, watchdogs,
+        #: IRQ handlers) never interleave on one stack.
+        self.active_process = None
 
     # -- scheduling ------------------------------------------------------
 

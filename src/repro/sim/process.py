@@ -62,6 +62,8 @@ class Process(Event):
 
     def _deliver(self, event: Event, interrupt: Any) -> None:
         self._waiting_on = None  # type: ignore[assignment]
+        prev_active = self.sim.active_process
+        self.sim.active_process = self
         try:
             if interrupt is not None:
                 target = self._gen.throw(interrupt)
@@ -78,6 +80,8 @@ class Process(Event):
             # this instead of crashing the event loop).
             self.fail(exc)
             return
+        finally:
+            self.sim.active_process = prev_active
         if not isinstance(target, Event) or target.sim is not self.sim:
             self._gen.close()
             self.fail(SimError(f"process yielded a non-event (or an event "

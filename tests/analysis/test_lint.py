@@ -1,4 +1,4 @@
-"""Tests for the PicoDriver protocol lint (PD001-PD007).
+"""Tests for the PicoDriver protocol lint (PD001-PD011).
 
 Each rule gets a violation fixture and a compliant twin; the suite also
 pins the suppression syntax and — the acceptance bar — that the shipped
@@ -279,6 +279,80 @@ def test_pd007_fires_before_the_faults_operand_is_flagged():
                 return
         """)
     assert codes(findings) == ["PD007"]
+
+
+# --- PD011 trace-hook gating -------------------------------------------------
+
+def test_pd011_unguarded_span_emission():
+    findings = lint("""\
+        def syscall(self, task, name):
+            span = TRACE.collector.begin_span("x", "t")
+            yield from self._dispatch(task, name)
+            TRACE.collector.end_span(span)
+        """)
+    assert codes(findings) == ["PD011", "PD011"]
+    assert "span emission" in findings[0].message
+    assert "config.TRACE" in findings[0].message
+
+
+def test_pd011_conditional_expression_idiom_is_clean():
+    """The hooks' actual begin shape: the emission sits in the then-arm
+    of an ``... if TRACE.enabled else None`` expression."""
+    findings = lint("""\
+        def syscall(self, task, name):
+            span = TRACE.collector.begin_span(
+                "x", "t") if TRACE.enabled else None
+            try:
+                yield from self._dispatch(task, name)
+            finally:
+                if TRACE.enabled and span is not None:
+                    TRACE.collector.end_span(span)
+        """)
+    assert findings == []
+
+
+def test_pd011_enclosing_if_guard_is_clean():
+    findings = lint("""\
+        def _rx(self, pkt):
+            if TRACE.enabled:
+                TRACE.collector.instant_span("psm.rx", "t")
+                TRACE.collector.add_flow(a, b)
+        """)
+    assert findings == []
+
+
+def test_pd011_covers_the_whole_emission_surface():
+    findings = lint("""\
+        def f(self):
+            TRACE.collector.instant_span("a", "t")
+            TRACE.collector.complete_span("b", "t", 0.0, 1.0)
+            TRACE.collector.add_flow(x, y)
+        """)
+    assert codes(findings) == ["PD011"] * 3
+
+
+def test_pd011_exempts_the_obs_subsystem():
+    """The collector and exporters call the emission surface
+    unconditionally — by design."""
+    src = """\
+        def instant_span(self, name, track):
+            span = self.begin_span(name, track, detached=True)
+            self.end_span(span)
+            return span
+        """
+    assert lint(src, path="src/repro/obs/spans.py") == []
+    assert codes(lint(src, path="src/repro/psm/x.py")) == ["PD011"] * 2
+
+
+def test_pd011_else_branch_is_not_guarded():
+    findings = lint("""\
+        def f(self):
+            if TRACE.enabled:
+                pass
+            else:
+                TRACE.collector.instant_span("a", "t")
+        """)
+    assert codes(findings) == ["PD011"]
 
 
 # --- suppression -------------------------------------------------------------

@@ -210,7 +210,7 @@ def test_free_context_with_inflight_sdma_group_raises():
         descriptors=[SdmaDescriptor(0, KiB)],
         packet=Packet(kind="eager", src_node=1, dst_node=0,
                       dst_ctxt=ctxt.ctxt_id, nbytes=KiB))
-    a.engines[0]._ring.append((group.descriptors[0], group, True))
+    a.engines[0]._ring.append((group.descriptors[0], group, True, None))
     with pytest.raises(DriverError) as excinfo:
         a.free_context(ctxt)
     assert "in flight" in str(excinfo.value)

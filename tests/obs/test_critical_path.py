@@ -1,0 +1,106 @@
+"""Structural assertions on the traced fig4 causal graph.
+
+These pin the acceptance properties of the issue: the PicoDriver fast
+path carries no syscall-offload hop, the Linux/McKernel paths do (and
+their SDMA descriptors average PAGE_SIZE), and the critical-path walk
+recovers the expected wire-protocol segments for a 4MB message.
+"""
+
+import pytest
+
+from repro.config import ALL_CONFIGS, OSConfig
+from repro.obs import (breakdown_by_category, critical_path,
+                       message_completion, render_breakdown)
+from repro.units import MiB, PAGE_SIZE
+
+
+def _desc_sizes(collector, label):
+    """nbytes of every expected-receive SDMA descriptor under a label."""
+    return [s.args["nbytes"] for s in
+            collector.find(name="sdma.desc", track_prefix=f"{label}/")
+            if s.args.get("kind") == "expected"]
+
+
+def test_every_config_completes_a_4mb_message(traced_fig4):
+    collector, _ = traced_fig4
+    for config in ALL_CONFIGS:
+        target = message_completion(collector, config.label,
+                                    nbytes=4 * MiB)
+        assert target is not None, f"no 4MB completion for {config.label}"
+        segments = critical_path(collector, target)
+        assert len(segments) >= 10
+        cats = {seg.span.cat for seg in segments}
+        # the wire protocol is visible end to end
+        assert {"psm", "wire", "pio", "sdma"} <= cats
+        # time is conserved: segments tile [start of first, completion]
+        assert segments[-1].t1 == pytest.approx(target.end)
+        for a, b in zip(segments, segments[1:]):
+            assert a.t1 == pytest.approx(b.t0)
+
+
+def test_offload_hop_only_on_plain_mckernel(traced_fig4):
+    """The paper's central claim, read off the trace: syscall offload
+    sits on McKernel's critical path and PicoDriver removes it."""
+    collector, _ = traced_fig4
+    cats_by_label = {}
+    for config in ALL_CONFIGS:
+        target = message_completion(collector, config.label,
+                                    nbytes=4 * MiB)
+        segments = critical_path(collector, target)
+        cats_by_label[config] = {seg.span.cat for seg in segments}
+    assert "offload" in cats_by_label[OSConfig.MCKERNEL]
+    assert "offload" not in cats_by_label[OSConfig.MCKERNEL_HFI]
+    assert "offload" not in cats_by_label[OSConfig.LINUX]
+    assert "fastpath" in cats_by_label[OSConfig.MCKERNEL_HFI]
+    # ... and writev — the data-path syscall — never offloads under the
+    # PicoDriver, on or off the critical path (setup calls like open/
+    # mmap and unclaimed ioctls still do)
+    hfi_prefix = f"{OSConfig.MCKERNEL_HFI.label}/"
+    offloaded = {s.name for s in collector.find(cat="offload",
+                                                track_prefix=hfi_prefix)}
+    assert not offloaded & {"ikc.offload.writev", "ikc.serve.writev"}
+    assert collector.find(name="pico.writev",
+                          track_prefix=hfi_prefix)
+    # the same syscalls DO offload on plain McKernel
+    mck_offloaded = {s.name for s in collector.find(
+        cat="offload", track_prefix=f"{OSConfig.MCKERNEL.label}/")}
+    assert "ikc.offload.writev" in mck_offloaded
+
+
+def test_descriptor_sizes_match_the_submission_path(traced_fig4):
+    """Linux-driver submissions chop at PAGE_SIZE; the PicoDriver walks
+    pinned LWK spans and submits far larger descriptors (section 3.4)."""
+    collector, _ = traced_fig4
+    for config in (OSConfig.LINUX, OSConfig.MCKERNEL):
+        sizes = _desc_sizes(collector, config.label)
+        assert sizes, f"no expected-receive descriptors for {config.label}"
+        assert sum(sizes) / len(sizes) == pytest.approx(PAGE_SIZE)
+    pico_sizes = _desc_sizes(collector, OSConfig.MCKERNEL_HFI.label)
+    assert pico_sizes
+    assert sum(pico_sizes) / len(pico_sizes) > 2 * PAGE_SIZE
+
+
+def test_breakdown_render_and_categories(traced_fig4):
+    collector, _ = traced_fig4
+    for config in ALL_CONFIGS:
+        text = render_breakdown(collector, config.label)
+        assert "critical path" in text and config.label in text
+        assert "per-category:" in text
+        target = message_completion(collector, config.label)
+        by_cat = breakdown_by_category(critical_path(collector, target))
+        assert by_cat
+        total = target.end - critical_path(collector, target)[0].t0
+        assert sum(by_cat.values()) == pytest.approx(total)
+
+
+def test_fastpath_beats_offload_on_the_same_message(traced_fig4):
+    """Per-segment latencies reproduce Figure 4's ordering at 4MB."""
+    collector, result = traced_fig4
+    assert result.ratio(OSConfig.MCKERNEL_HFI, 4 * MiB) > 1.0
+    durations = {}
+    for config in ALL_CONFIGS:
+        target = message_completion(collector, config.label,
+                                    nbytes=4 * MiB)
+        segments = critical_path(collector, target)
+        durations[config] = segments[-1].t1 - segments[0].t0
+    assert durations[OSConfig.MCKERNEL_HFI] < durations[OSConfig.MCKERNEL]

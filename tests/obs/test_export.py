@@ -1,0 +1,94 @@
+"""Chrome Trace Event export: schema shape, round-trip, flow identity."""
+
+import json
+
+from repro.obs import SpanCollector, chrome_trace_events, write_chrome_trace
+
+
+def _small_collector():
+    c = SpanCollector()
+    a = c.begin_span("lwk.writev", "node0/lwk", cat="syscall",
+                     args={"task": "rank0"})
+    b = c.begin_span("pico.writev", "node0/lwk", cat="fastpath")
+    c.end_span(b)
+    c.end_span(a)
+    wire = c.complete_span("fabric.wire", "Linux/fabric", 1.0, 2.0,
+                           cat="wire", flow_from=b)
+    c.instant_span("psm.rx_expected", "node1/lwk", cat="psm",
+                   flow_from=wire)
+    return c
+
+
+def test_export_event_schema(traced_fig4):
+    collector, _ = traced_fig4
+    events = chrome_trace_events(collector)
+    assert events
+    for evt in events:
+        assert evt["ph"] in ("X", "s", "f", "M")
+        assert isinstance(evt["pid"], int) and isinstance(evt["tid"], int)
+        if evt["ph"] == "M":
+            assert evt["name"] in ("process_name", "thread_name")
+            assert "name" in evt["args"]
+        else:
+            assert isinstance(evt["ts"], (int, float))
+        if evt["ph"] == "X":
+            assert evt["dur"] >= 0
+            assert evt["name"] and evt["cat"]
+        if evt["ph"] == "f":
+            assert evt["bp"] == "e"
+
+
+def test_flow_ids_globally_unique_and_paired(traced_fig4):
+    """Every flow id appears on exactly one start and one finish event,
+    across all nodes and machines of the whole traced run."""
+    collector, _ = traced_fig4
+    events = chrome_trace_events(collector)
+    starts = [e["id"] for e in events if e["ph"] == "s"]
+    finishes = [e["id"] for e in events if e["ph"] == "f"]
+    assert starts, "traced run exported no flow events"
+    assert len(starts) == len(set(starts))
+    assert len(finishes) == len(set(finishes))
+    assert set(starts) == set(finishes)
+
+
+def test_tracks_map_to_one_pid_tid_each(traced_fig4):
+    """One Chrome track (pid, tid) per node/kernel/SDMA-engine track."""
+    collector, _ = traced_fig4
+    events = chrome_trace_events(collector)
+    named = {}
+    for evt in events:
+        if evt["ph"] == "M" and evt["name"] == "thread_name":
+            named[(evt["pid"], evt["tid"])] = evt["args"]["name"]
+    tracks = {s.track for s in collector.spans}
+    assert len(named) == len(tracks)
+    # every duration event lands on a named track
+    for evt in events:
+        if evt["ph"] == "X":
+            assert (evt["pid"], evt["tid"]) in named
+
+
+def test_round_trip_through_json_file(tmp_path):
+    c = _small_collector()
+    path = tmp_path / "trace.json"
+    write_chrome_trace(c, str(path))
+    loaded = json.loads(path.read_text())
+    assert loaded["displayTimeUnit"] == "ns"
+    events = loaded["traceEvents"]
+    xs = [e for e in events if e["ph"] == "X"]
+    assert {e["name"] for e in xs} == {"lwk.writev", "pico.writev",
+                                      "fabric.wire", "psm.rx_expected"}
+    wire = next(e for e in xs if e["name"] == "fabric.wire")
+    assert wire["ts"] == 1.0e6 and wire["dur"] == 1.0e6
+    assert len([e for e in events if e["ph"] == "s"]) == 2
+
+
+def test_non_json_args_are_stringified(tmp_path):
+    c = SpanCollector()
+    s = c.begin_span("x", "t", args={"obj": object(), "n": 3})
+    c.end_span(s)
+    path = tmp_path / "t.json"
+    write_chrome_trace(c, str(path))   # must not raise on repr-only args
+    loaded = json.loads(path.read_text())
+    args = next(e for e in loaded["traceEvents"]
+                if e["ph"] == "X")["args"]
+    assert args["n"] == 3 and isinstance(args["obj"], str)
