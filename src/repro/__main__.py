@@ -11,6 +11,8 @@
     python -m repro lockgraph     # static lock-class graph (--dot)
     python -m repro chaos         # fault-injection sweep (--smoke for CI)
     python -m repro trace fig4    # causal tracing (--out/--breakdown/--smoke)
+    python -m repro check pingpong --smoke   # bounded model checker
+    python -m repro check --replay a.sched   # replay a counterexample
 """
 
 from __future__ import annotations
@@ -113,7 +115,7 @@ def main(argv=None) -> int:
         print(__doc__)
         print("commands:", ", ".join([*COMMANDS, "all", "dwarf", "lint",
                                       "sanitize", "lockdep", "lockgraph",
-                                      "chaos", "trace"]))
+                                      "chaos", "trace", "check"]))
         return 0
     name = argv[0]
     if name == "dwarf":
@@ -136,6 +138,9 @@ def main(argv=None) -> int:
     if name == "trace":
         from .obs.cli import cmd_trace
         return cmd_trace(argv[1:])
+    if name == "check":
+        from .analysis.check import cmd_check
+        return cmd_check(argv[1:])
     if name == "all":
         for key, fn in COMMANDS.items():
             if key == "report":

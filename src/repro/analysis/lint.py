@@ -39,6 +39,11 @@ PD011    trace-hook gating: every span emission (``begin_span`` /
          ``end_span`` / ``instant_span`` / ``complete_span`` /
          ``add_flow``) sits behind a ``config.TRACE`` check, so
          untraced runs stay branch-cheap and bit-identical
+PD012    choice-point-hook gating: every controlled-scheduler hook
+         (``choose_ready`` / ``on_step_begin`` / ``on_step_end`` /
+         ``on_process_resumed``) sits behind an ``ANALYSIS.check`` or
+         ``scheduler``-is-installed check, so unchecked runs keep the
+         single cheap pop path and stay bit-identical
 PD100    unused suppression: a ``# pd-ignore`` comment that suppresses
          nothing (rots silently and hides future real findings)
 =======  ==============================================================
@@ -97,6 +102,10 @@ RULES: Dict[str, Tuple[str, str]] = {
               "guard the span emission with 'if TRACE.enabled' (or the "
               "'... if TRACE.enabled else None' expression form) so "
               "untraced runs never touch the collector"),
+    "PD012": ("choice-point-hook gating",
+              "guard the scheduler hook with 'if self.scheduler is not "
+              "None' (or an ANALYSIS.check test) so uncontrolled runs "
+              "keep the single cheap pop path"),
     "PD100": ("unused suppression",
               "delete the stale '# pd-ignore' comment (or narrow its "
               "rule list to the codes actually found on the line)"),
@@ -365,30 +374,33 @@ def _check_raw_heap(path: str, tree: ast.AST,
                 f"outside structs.py/sync.py"))
 
 
-def _refs_config(node: ast.AST, config_name: str) -> bool:
-    """True if the expression mentions the named config anywhere."""
+def _refs_config(node: ast.AST, config_names: Iterable[str]) -> bool:
+    """True if the expression mentions any of the named guards anywhere."""
+    names = frozenset(config_names)
     for sub in ast.walk(node):
-        if isinstance(sub, ast.Name) and sub.id == config_name:
+        if isinstance(sub, ast.Name) and sub.id in names:
             return True
-        if isinstance(sub, ast.Attribute) and sub.attr == config_name:
+        if isinstance(sub, ast.Attribute) and sub.attr in names:
             return True
     return False
 
 
 def _check_config_gating(path: str, tree: ast.AST,
-                         findings: List[Finding], config_name: str,
+                         findings: List[Finding],
+                         config_names: Tuple[str, ...],
                          attrs: Iterable[str], code: str,
                          describe: str) -> None:
-    """Shared gating pass behind PD007 and PD011.
+    """Shared gating pass behind PD007, PD011 and PD012.
 
     A call ``*.<attr>(...)`` with ``attr`` in ``attrs`` is considered
     guarded when it sits in the body of an ``if`` (or the then-branch of
-    a conditional expression) whose test references ``config_name``, or
-    — matching the hooks' actual idiom — when it appears in an ``and``
-    chain *after* an operand that references it, as in
-    ``if FAULTS.enabled and inj and inj.fires(...)``.
+    a conditional expression) whose test references any name in
+    ``config_names``, or — matching the hooks' actual idiom — when it
+    appears in an ``and`` chain *after* an operand that references one,
+    as in ``if FAULTS.enabled and inj and inj.fires(...)``.
     """
     attrs = frozenset(attrs)
+    label = "/".join(config_names)
 
     def scan(node: ast.AST, guarded: bool) -> None:
         if (isinstance(node, ast.Call)
@@ -398,10 +410,10 @@ def _check_config_gating(path: str, tree: ast.AST,
             findings.append(Finding(
                 path, node.lineno, node.col_offset, code,
                 f"{describe} '{_dotted(node.func)}' is not guarded by "
-                f"a config.{config_name} check"))
+                f"a config.{label} check"))
         if isinstance(node, ast.If):
             scan(node.test, guarded)
-            body_guarded = guarded or _refs_config(node.test, config_name)
+            body_guarded = guarded or _refs_config(node.test, config_names)
             for stmt in node.body:
                 scan(stmt, body_guarded)
             for stmt in node.orelse:
@@ -410,14 +422,14 @@ def _check_config_gating(path: str, tree: ast.AST,
         if isinstance(node, ast.IfExp):
             scan(node.test, guarded)
             scan(node.body,
-                 guarded or _refs_config(node.test, config_name))
+                 guarded or _refs_config(node.test, config_names))
             scan(node.orelse, guarded)
             return
         if isinstance(node, ast.BoolOp) and isinstance(node.op, ast.And):
             chain_guarded = guarded
             for operand in node.values:
                 scan(operand, chain_guarded)
-                if _refs_config(operand, config_name):
+                if _refs_config(operand, config_names):
                     chain_guarded = True
             return
         for child in ast.iter_child_nodes(node):
@@ -429,7 +441,7 @@ def _check_config_gating(path: str, tree: ast.AST,
 def _check_fault_gating(path: str, tree: ast.AST,
                         findings: List[Finding]) -> None:
     """PD007: every ``*.fires(...)`` draw is behind a FAULTS check."""
-    _check_config_gating(path, tree, findings, "FAULTS", ("fires",),
+    _check_config_gating(path, tree, findings, ("FAULTS",), ("fires",),
                          "PD007", "fault-injection draw")
 
 
@@ -449,8 +461,33 @@ def _check_trace_gating(path: str, tree: ast.AST,
     parts = os.path.normpath(path).split(os.sep)
     if "obs" in parts:
         return
-    _check_config_gating(path, tree, findings, "TRACE",
+    _check_config_gating(path, tree, findings, ("TRACE",),
                          _SPAN_EMISSION_ATTRS, "PD011", "span emission")
+
+
+#: the controlled-scheduler hook surface PD012 polices at call sites
+_CHECK_HOOK_ATTRS = frozenset({"choose_ready", "on_step_begin",
+                               "on_step_end", "on_process_resumed"})
+
+
+def _check_scheduler_gating(path: str, tree: ast.AST,
+                            findings: List[Finding]) -> None:
+    """PD012: every controlled-scheduler hook is behind a gate.
+
+    Acceptable gates are an ``ANALYSIS.check`` test or — matching the
+    engine's actual idiom — a ``scheduler``-is-installed test
+    (``if self.scheduler is not None: ...``), since the no-op default
+    is precisely ``scheduler is None``.  The model checker itself
+    (``repro/analysis/check*.py``) is exempt: the explorer and its
+    fixtures drive the hook surface unconditionally by design.
+    """
+    parts = os.path.normpath(path).split(os.sep)
+    if "analysis" in parts and os.path.basename(path).startswith("check"):
+        return
+    _check_config_gating(path, tree, findings,
+                         ("ANALYSIS", "check", "scheduler"),
+                         _CHECK_HOOK_ATTRS, "PD012",
+                         "controlled-scheduler hook")
 
 
 # --- driver ------------------------------------------------------------------
@@ -474,6 +511,7 @@ def lint_source(source: str, path: str = "<string>") -> List[Finding]:
     _check_raw_heap(path, tree, findings)
     _check_fault_gating(path, tree, findings)
     _check_trace_gating(path, tree, findings)
+    _check_scheduler_gating(path, tree, findings)
     # PD008/PD009 live in the lockdep module (they share its static
     # lock-graph walker); imported here to keep lint importable from it
     from .lockdep import check_lock_order

@@ -22,10 +22,20 @@ class AnalysisConfig:
     (as a heap monitor on every node plus the simulator's wait
     observer), checking lock-class acquisition order, IRQ context and
     held-across-wait hazards.  Off by default for the same reason.
+
+    ``check`` marks a PicoCheck exploration run (see
+    :mod:`repro.analysis.check`): the bounded model checker installs a
+    controlled scheduler on each simulator it drives and turns KSan,
+    lockdep and the delivery contract into in-harness oracles.  Off by
+    default; with it off no simulator ever carries a scheduler, so
+    ``Simulator.step()`` stays on the single cheap pop path and every
+    experiment is bit-identical to a build without the hooks (lint
+    rule PD012 enforces the gating).
     """
 
     race_detection: bool = False
     lockdep: bool = False
+    check: bool = False
 
 
 #: the process-wide analysis configuration (mutated by
@@ -41,6 +51,11 @@ def enable_race_detection(enabled: bool = True) -> None:
 def enable_lockdep(enabled: bool = True) -> None:
     """Toggle lockdep installation for machines built after this call."""
     ANALYSIS.lockdep = enabled
+
+
+def enable_check(enabled: bool = True) -> None:
+    """Toggle PicoCheck exploration mode (controlled scheduling)."""
+    ANALYSIS.check = enabled
 
 
 @dataclass

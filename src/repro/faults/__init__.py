@@ -11,6 +11,6 @@ gated by :data:`repro.config.FAULTS` (set via
 hooks cost one attribute load and a falsy branch.
 """
 
-from .plan import FAULT_POINTS, FaultInjector, FaultPlan
+from .plan import FAULT_POINTS, FaultInjector, FaultPlan, ScheduledFault
 
-__all__ = ["FAULT_POINTS", "FaultInjector", "FaultPlan"]
+__all__ = ["FAULT_POINTS", "FaultInjector", "FaultPlan", "ScheduledFault"]

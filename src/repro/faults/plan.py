@@ -30,8 +30,8 @@ The fault points (and where they are injected):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
 
 from ..errors import ReproError
 from ..sim.trace import Tracer
@@ -49,12 +49,48 @@ FAULT_POINTS = {
 
 
 @dataclass(frozen=True)
+class ScheduledFault:
+    """One deterministically *placed* fault: the named point fires at
+    exactly its ``occurrence``-th opportunity (0-based) and nowhere else.
+
+    This is the adversarial-placement currency of the PicoCheck
+    explorer (:mod:`repro.analysis.check`): instead of Bernoulli draws
+    the checker enumerates *where* a bounded budget of faults lands
+    along each schedule.  Placement never touches an RNG stream, so a
+    deterministic plan with zero scheduled faults is bit-identical to a
+    fault-free run.
+    """
+
+    point: str
+    occurrence: int
+
+    def __post_init__(self) -> None:
+        if self.point not in FAULT_POINTS:
+            raise ReproError(f"unknown fault point {self.point!r}; choose "
+                             f"from {', '.join(sorted(FAULT_POINTS))}")
+        if self.occurrence < 0:
+            raise ReproError(f"fault occurrence index must be >= 0, got "
+                             f"{self.occurrence}")
+
+    def describe(self) -> str:
+        """``point@occurrence`` (the schedule-script rendering)."""
+        return f"{self.point}@{self.occurrence}"
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Per-fault-point firing probabilities (all default to 0).
 
     Rates are per *opportunity*: a ``fabric.drop`` of 0.01 drops 1% of
     transmitted packets, a ``sdma.desc_error`` of 0.01 halts the engine
     on 1% of descriptor fetches, and so on.
+
+    A plan can instead run in *deterministic placement mode*
+    (:meth:`placed`): rates are ignored, no RNG stream is ever created,
+    and exactly the :class:`ScheduledFault` placements fire — each when
+    its fault point reaches the scheduled opportunity index.  The
+    injector counts opportunities either way, so a deterministic plan
+    with no placements doubles as the explorer's opportunity census.
     """
 
     fabric_drop: float = 0.0
@@ -66,6 +102,10 @@ class FaultPlan:
     #: how long the driver-side completion watchdog waits before
     #: recovering a lost completion interrupt.
     irq_recovery_timeout: float = 60 * USEC
+    #: deterministic placement mode: ignore rates, fire exactly
+    #: ``scheduled``, never draw randomness
+    deterministic: bool = False
+    scheduled: Tuple[ScheduledFault, ...] = field(default=())
 
     @classmethod
     def uniform(cls, rate: float, **overrides) -> "FaultPlan":
@@ -73,6 +113,11 @@ class FaultPlan:
         values = {name: rate for name in FAULT_POINTS.values()}
         values.update(overrides)
         return cls(**values)
+
+    @classmethod
+    def placed(cls, *faults: ScheduledFault, **overrides) -> "FaultPlan":
+        """A deterministic plan firing exactly ``faults`` (no RNG)."""
+        return cls(deterministic=True, scheduled=tuple(faults), **overrides)
 
     def rate_of(self, point: str) -> float:
         """The firing probability of a named fault point."""
@@ -85,6 +130,10 @@ class FaultPlan:
 
     def describe(self) -> str:
         """One-line summary of the nonzero rates (for reports)."""
+        if self.deterministic:
+            if not self.scheduled:
+                return "no faults (deterministic)"
+            return "placed: " + ", ".join(f.describe() for f in self.scheduled)
         parts = [f"{p}={self.rate_of(p):g}"
                  for p in sorted(FAULT_POINTS) if self.rate_of(p) > 0]
         return ", ".join(parts) if parts else "no faults"
@@ -107,10 +156,25 @@ class FaultInjector:
         self.rng_factory = rng_factory
         self.tracer = tracer
         self._streams: Dict[str, object] = {}
+        #: per-point opportunity counters, maintained only in
+        #: deterministic placement mode (the explorer's census)
+        self.occurrences: Dict[str, int] = {}
+        self._scheduled = frozenset(
+            (f.point, f.occurrence) for f in plan.scheduled)
 
     def fires(self, point: str) -> bool:
         """True if the named fault point fires at this opportunity."""
         rate = self.plan.rate_of(point)
+        if self.plan.deterministic:
+            # exact placement mode: count the opportunity, fire on an
+            # exact (point, occurrence) match, never touch the RNG
+            idx = self.occurrences.get(point, 0)
+            self.occurrences[point] = idx + 1
+            if (point, idx) not in self._scheduled:
+                return False
+            if self.tracer is not None:
+                self.tracer.count(f"faults.{point}")
+            return True
         if rate <= 0.0:
             return False
         stream = self._streams.get(point)

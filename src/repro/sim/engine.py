@@ -9,6 +9,26 @@ Design notes
   increasing tie-breaker, so same-time events fire in schedule order.
 * The engine never consults wall-clock time or global randomness; a run is a
   pure function of its inputs (guide: "make it work reliably" before fast).
+
+Tie-break policy (pinned)
+-------------------------
+Same-timestamp events fire in **stable FIFO order by insertion** — the
+``seq`` counter is assigned in :meth:`Simulator._post` call order and the
+heap never reorders equal-``(time, seq)`` keys, so two events scheduled
+for the same instant are processed in exactly the order they were
+triggered.  This is a *contract*, not an accident of ``heapq``: the
+bounded model checker (:mod:`repro.analysis.check`) enumerates the
+same-time ready set as a *choice point* and must know what choice 0 (the
+default, uncontrolled schedule) means.  A regression test pins it.
+
+When a controlled scheduler is installed (``sim.scheduler``, see
+:class:`repro.analysis.check.ControlledScheduler`), every same-time
+ready set with more than one event becomes an explicit choice point:
+the scheduler picks which event fires next and the rest are re-queued
+with their original ``(time, seq)`` keys, preserving FIFO order among
+the events it did not pick.  With no scheduler installed (the default),
+``step()`` takes the single cheap pop path and behaves bit-identically
+to a build without the hook.
 """
 
 from __future__ import annotations
@@ -137,6 +157,11 @@ class Simulator:
         #: opt-in wait observer (the lockdep validator): notified of every
         #: positive-delay timeout so held-across-wait hazards are caught
         self.wait_monitor = None
+        #: opt-in controlled scheduler (the PicoCheck explorer): when
+        #: installed, same-time ready sets become choice points and every
+        #: step is bracketed for footprint recording.  ``None`` (the
+        #: default) keeps ``step()`` on the single cheap pop path.
+        self.scheduler = None
         #: the :class:`~repro.sim.process.Process` whose generator is
         #: currently executing, or ``None`` between steps / in bare event
         #: callbacks.  The tracer keys its span stacks on this so spans
@@ -171,9 +196,43 @@ class Simulator:
         return self._heap[0][0] if self._heap else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event."""
+        """Process exactly one event.
+
+        Same-time events fire in stable FIFO insertion order (see the
+        module docstring's tie-break policy).  An installed controlled
+        scheduler overrides the pick within a same-time ready set; it
+        cannot reorder across distinct timestamps.
+        """
         if not self._heap:
             raise SimError("step() on an empty event queue")
+        if self.scheduler is not None:
+            # Controlled mode (PicoCheck): surface the same-time ready
+            # set as a choice point and bracket the step so the
+            # scheduler can record its footprint.
+            heap = self._heap
+            when = heap[0][0]
+            ready = [heapq.heappop(heap)]
+            while heap and heap[0][0] == when:
+                ready.append(heapq.heappop(heap))
+            if len(ready) > 1:
+                pick = self.scheduler.choose_ready(when, ready)
+                if not 0 <= pick < len(ready):
+                    raise SimError(f"scheduler chose {pick} out of "
+                                   f"{len(ready)} ready events")
+                entry = ready.pop(pick)
+                # the unchosen events keep their original (time, seq)
+                # keys, so FIFO order among them is preserved
+                for other in ready:
+                    heapq.heappush(heap, other)
+            else:
+                entry = ready[0]
+            self.now = when
+            self.scheduler.on_step_begin(when, entry[1], entry[2])
+            try:
+                entry[2]._run_callbacks()
+            finally:
+                self.scheduler.on_step_end()
+            return
         when, _, event = heapq.heappop(self._heap)
         self.now = when
         event._run_callbacks()

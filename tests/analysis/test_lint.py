@@ -1,4 +1,4 @@
-"""Tests for the PicoDriver protocol lint (PD001-PD011).
+"""Tests for the PicoDriver protocol lint (PD001-PD012).
 
 Each rule gets a violation fixture and a compliant twin; the suite also
 pins the suppression syntax and — the acceptance bar — that the shipped
@@ -521,3 +521,61 @@ def test_pd100_ignores_prose_mentions_of_the_marker():
             return self.x
         ''')
     assert findings == []
+
+
+# --- PD012 controlled-scheduler gating ---------------------------------------
+
+def test_pd012_unguarded_hook_calls():
+    findings = lint("""\
+        def step(self):
+            pick = self.scheduler.choose_ready(self.now, ready)
+            self.scheduler.on_step_begin(self.now, 0, evt)
+        """)
+    assert codes(findings) == ["PD012", "PD012"]
+    assert "controlled-scheduler hook" in findings[0].message
+    assert "check" in findings[0].message
+
+
+def test_pd012_scheduler_none_guard_is_clean():
+    """The engine's actual idiom: the hook calls live in the body of
+    ``if self.scheduler is not None``."""
+    findings = lint("""\
+        def step(self):
+            if self.scheduler is not None:
+                pick = self.scheduler.choose_ready(self.now, ready)
+                self.scheduler.on_step_begin(self.now, 0, evt)
+                self.scheduler.on_step_end()
+        """)
+    assert findings == []
+
+
+def test_pd012_analysis_check_guard_is_clean():
+    findings = lint("""\
+        def _deliver(self, event):
+            if ANALYSIS.check:
+                self.sim.scheduler.on_process_resumed(self)
+        """)
+    assert findings == []
+
+
+def test_pd012_else_branch_is_not_guarded():
+    findings = lint("""\
+        def step(self):
+            if self.scheduler is not None:
+                pass
+            else:
+                self.scheduler.on_step_end()
+        """)
+    assert codes(findings) == ["PD012"]
+
+
+def test_pd012_exempts_the_checker_itself():
+    """The explorer and its fixtures drive the hooks unconditionally
+    by design (``repro/analysis/check*.py``)."""
+    src = """\
+        def execute(self):
+            self.scheduler.on_step_begin(0.0, 0, evt)
+        """
+    assert lint(src, path="src/repro/analysis/check.py") == []
+    assert lint(src, path="src/repro/analysis/check_fixtures.py") == []
+    assert codes(lint(src, path="src/repro/sim/engine.py")) == ["PD012"]

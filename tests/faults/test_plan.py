@@ -3,7 +3,8 @@
 import pytest
 
 from repro.errors import ReproError
-from repro.faults import FAULT_POINTS, FaultInjector, FaultPlan
+from repro.faults import (FAULT_POINTS, FaultInjector, FaultPlan,
+                          ScheduledFault)
 from repro.sim import RngFactory, Tracer
 
 
@@ -77,3 +78,70 @@ def test_describe_lists_nonzero_rates():
     for point in FAULT_POINTS:
         assert f"{point}=0.01" in text
     assert FaultPlan(irq_lost=0.5).describe() == "irq.lost=0.5"
+
+
+# --- deterministic placement mode (the PicoCheck currency) -------------------
+
+def test_scheduled_fault_validates_its_fields():
+    with pytest.raises(ReproError):
+        ScheduledFault("meteor.strike", 0)
+    with pytest.raises(ReproError):
+        ScheduledFault("irq.lost", -1)
+    assert ScheduledFault("irq.lost", 2).describe() == "irq.lost@2"
+
+
+def test_placed_plan_fires_exactly_at_the_scheduled_occurrence():
+    inj = make_injector(FaultPlan.placed(ScheduledFault("irq.lost", 2)))
+    assert [inj.fires("irq.lost") for _ in range(5)] \
+        == [False, False, True, False, False]
+    assert not any(inj.fires("fabric.drop") for _ in range(3))
+
+
+def test_deterministic_mode_ignores_rates_and_never_draws():
+    """Rates on a deterministic plan are inert: rate 1.0 without a
+    placement never fires and — the satellite guarantee — no RNG
+    stream is ever created."""
+    inj = make_injector(FaultPlan.placed(ScheduledFault("irq.lost", 0),
+                                         fabric_corrupt=1.0))
+    assert not any(inj.fires("fabric.corrupt") for _ in range(10))
+    assert inj.fires("irq.lost")
+    assert inj._streams == {}
+
+
+def test_zero_scheduled_faults_leave_all_rng_streams_untouched():
+    inj = make_injector(FaultPlan.placed())
+    for point in FAULT_POINTS:
+        for _ in range(10):
+            assert not inj.fires(point)
+    assert inj._streams == {}
+
+
+def test_empty_placed_plan_doubles_as_opportunity_census():
+    inj = make_injector(FaultPlan.placed())
+    for _ in range(3):
+        inj.fires("irq.lost")
+    inj.fires("fabric.drop")
+    assert inj.occurrences == {"irq.lost": 3, "fabric.drop": 1}
+
+
+def test_rate_based_plans_do_not_pay_the_census_bookkeeping():
+    inj = make_injector(FaultPlan.uniform(0.3))
+    for _ in range(5):
+        inj.fires("fabric.drop")
+    assert inj.occurrences == {}
+
+
+def test_deterministic_describe():
+    assert FaultPlan.placed().describe() == "no faults (deterministic)"
+    plan = FaultPlan.placed(ScheduledFault("irq.lost", 2),
+                            ScheduledFault("fabric.drop", 0))
+    assert plan.describe() == "placed: irq.lost@2, fabric.drop@0"
+
+
+def test_tracer_counts_only_the_scheduled_firing():
+    tracer = Tracer()
+    inj = make_injector(FaultPlan.placed(ScheduledFault("irq.lost", 1)),
+                        tracer=tracer)
+    for _ in range(4):
+        inj.fires("irq.lost")
+    assert tracer.get_count("faults.irq.lost") == 1

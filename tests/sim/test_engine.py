@@ -154,3 +154,98 @@ def test_nested_scheduling_from_callback():
     sim.timeout(1.0).add_callback(chain)
     sim.run()
     assert order == [1.0, 2.0, 3.0]
+
+
+# --- the pinned tie-break policy and the controlled-scheduler hook -----------
+
+class RecordingScheduler:
+    """Minimal stand-in for the PicoCheck scheduler: records choice
+    points, answers with a configured pick (default 0 = FIFO)."""
+
+    def __init__(self, picks=None):
+        self.picks = dict(picks or {})
+        self.choice_points = []
+        self.steps = 0
+
+    def choose_ready(self, when, ready):
+        index = len(self.choice_points)
+        self.choice_points.append((when, len(ready)))
+        return self.picks.get(index, 0)
+
+    def on_step_begin(self, when, seq, event):
+        self.steps += 1
+
+    def on_step_end(self):
+        pass
+
+    def on_process_resumed(self, process):
+        pass
+
+
+def test_tie_break_pinned_fifo_even_when_scheduled_from_callbacks():
+    """The tie-break contract: same-time events fire in insertion order
+    even when an event is inserted *from a callback* running at that
+    same timestamp — it queues behind everything already scheduled."""
+    sim = Simulator()
+    order = []
+
+    def first(evt):
+        order.append("a")
+        sim.timeout(0.0).add_callback(lambda e: order.append("c"))
+
+    sim.timeout(1.0).add_callback(first)
+    sim.timeout(1.0).add_callback(lambda e: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def _three_at_once(sim, order):
+    for name in ("a", "b", "c"):
+        sim.timeout(1.0).add_callback(lambda e, n=name: order.append(n))
+    sim.timeout(2.0).add_callback(lambda e: order.append("late"))
+
+
+def test_scheduler_surfaces_multi_ready_sets_as_choice_points():
+    sim = Simulator()
+    order = []
+    _three_at_once(sim, order)
+    sched = RecordingScheduler()
+    sim.scheduler = sched
+    sim.run()
+    # step 1 sees [a, b, c]; b and c are re-queued so step 2 sees
+    # [b, c]; singletons (c alone, the late event) are not choices
+    assert sched.choice_points == [(1.0, 3), (1.0, 2)]
+    assert sched.steps == 4
+    assert order == ["a", "b", "c", "late"]
+
+
+def test_scheduler_default_pick_matches_uncontrolled_run():
+    runs = []
+    for controlled in (False, True):
+        sim = Simulator()
+        order = []
+        _three_at_once(sim, order)
+        if controlled:
+            sim.scheduler = RecordingScheduler()
+        sim.run()
+        runs.append(order)
+    assert runs[0] == runs[1]
+
+
+def test_scheduler_pick_overrides_fifo_and_preserves_rest():
+    sim = Simulator()
+    order = []
+    _three_at_once(sim, order)
+    sim.scheduler = RecordingScheduler(picks={0: 2})
+    sim.run()
+    # promoting c must not reorder a and b among themselves
+    assert order == ["c", "a", "b", "late"]
+
+
+def test_scheduler_out_of_range_pick_rejected():
+    sim = Simulator()
+    order = []
+    _three_at_once(sim, order)
+    sim.scheduler = RecordingScheduler(picks={0: 7})
+    with pytest.raises(SimError):
+        sim.run()
