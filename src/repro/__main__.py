@@ -10,6 +10,7 @@
     python -m repro lockdep fig4  # re-run with the deadlock validator
     python -m repro lockgraph     # static lock-class graph (--dot)
     python -m repro chaos         # fault-injection sweep (--smoke for CI)
+    python -m repro chaos --flap  # PicoGuard flap campaign (failover/failback)
     python -m repro trace fig4    # causal tracing (--out/--breakdown/--smoke)
     python -m repro check pingpong --smoke   # bounded model checker
     python -m repro check --replay a.sched   # replay a counterexample

@@ -552,8 +552,10 @@ def get_scenarios() -> Dict[str, object]:
     """The scenario registry (fixtures imported lazily to keep the
     explorer importable without the test rigs)."""
     from .check_fixtures import FlagRaceScenario
+    from .check_guard import GuardBreakerScenario
     scenarios = {}
-    for scenario in (PingpongScenario(), FlagRaceScenario()):
+    for scenario in (PingpongScenario(), FlagRaceScenario(),
+                     GuardBreakerScenario()):
         scenarios[scenario.name] = scenario
     return scenarios
 

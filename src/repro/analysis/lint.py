@@ -44,6 +44,12 @@ PD012    choice-point-hook gating: every controlled-scheduler hook
          ``on_process_resumed``) sits behind an ``ANALYSIS.check`` or
          ``scheduler``-is-installed check, so unchecked runs keep the
          single cheap pop path and stay bit-identical
+PD013    guard-hook gating: every guard-plane hook on the data path
+         (``record_success`` / ``record_failure`` / ``admits`` /
+         ``pick_healthy_engine`` / ``park_if_suspended`` /
+         ``acquire_slots`` / ``release_slots``) sits behind a
+         ``config.GUARD`` or ``guard``-is-installed check, so
+         unguarded runs stay branch-cheap and bit-identical
 PD100    unused suppression: a ``# pd-ignore`` comment that suppresses
          nothing (rots silently and hides future real findings)
 =======  ==============================================================
@@ -106,6 +112,10 @@ RULES: Dict[str, Tuple[str, str]] = {
               "guard the scheduler hook with 'if self.scheduler is not "
               "None' (or an ANALYSIS.check test) so uncontrolled runs "
               "keep the single cheap pop path"),
+    "PD013": ("guard-hook gating",
+              "guard the hook with 'if GUARD.enabled' or a "
+              "'guard'-is-installed test (if guard is not None: ...) so "
+              "unguarded runs never consult the health manager"),
     "PD100": ("unused suppression",
               "delete the stale '# pd-ignore' comment (or narrow its "
               "rule list to the codes actually found on the line)"),
@@ -490,6 +500,31 @@ def _check_scheduler_gating(path: str, tree: ast.AST,
                          "controlled-scheduler hook")
 
 
+#: the GuardManager/PathBreaker/CongestionGate hook surface PD013
+#: polices at call sites
+_GUARD_HOOK_ATTRS = frozenset({"record_success", "record_failure", "admits",
+                               "pick_healthy_engine", "park_if_suspended",
+                               "acquire_slots", "release_slots"})
+
+
+def _check_guard_gating(path: str, tree: ast.AST,
+                        findings: List[Finding]) -> None:
+    """PD013: every guard-plane hook is behind a gate.
+
+    Acceptable gates are a ``GUARD.enabled`` test or — matching the
+    drivers' actual idiom — a ``guard``-is-installed test
+    (``if guard is not None: ...``), since the no-op default is
+    precisely ``guard is None``.  The guard plane itself
+    (``repro/guard``) is exempt: the manager, breakers and gates call
+    each other's hook surface unconditionally by design.
+    """
+    parts = os.path.normpath(path).split(os.sep)
+    if "guard" in parts:
+        return
+    _check_config_gating(path, tree, findings, ("GUARD", "guard"),
+                         _GUARD_HOOK_ATTRS, "PD013", "guard-plane hook")
+
+
 # --- driver ------------------------------------------------------------------
 
 def lint_source(source: str, path: str = "<string>") -> List[Finding]:
@@ -512,6 +547,7 @@ def lint_source(source: str, path: str = "<string>") -> List[Finding]:
     _check_fault_gating(path, tree, findings)
     _check_trace_gating(path, tree, findings)
     _check_scheduler_gating(path, tree, findings)
+    _check_guard_gating(path, tree, findings)
     # PD008/PD009 live in the lockdep module (they share its static
     # lock-graph walker); imported here to keep lint importable from it
     from .lockdep import check_lock_order

@@ -117,6 +117,40 @@ def enable_tracing(collector: object = None) -> None:
     TRACE.collector = collector
 
 
+@dataclass
+class GuardConfig:
+    """Opt-in fast-path health management (see :mod:`repro.guard`).
+
+    ``enabled`` gates every guard hook on the data path — breaker
+    success/failure recording, dispatch-time path admission, congestion
+    watermark accounting and suspend parking — behind a single branch,
+    so guarded-off runs stay branch-cheap and bit-identical to a build
+    without the hooks (lint rule PD013 enforces the gating, mirroring
+    PD007 for faults and PD011 for tracing).  ``policy`` holds the
+    active :class:`~repro.guard.GuardPolicy` (thresholds, probe
+    hysteresis, watermarks) while a guarded run is in progress.
+    """
+
+    enabled: bool = False
+    policy: object = None
+
+
+#: the process-wide guard configuration (mutated by
+#: ``python -m repro chaos --flap`` and tests)
+GUARD = GuardConfig()
+
+
+def enable_guard(policy: object = None) -> None:
+    """Install a guard policy for machines built after this call.
+
+    Passing ``None`` disables the guard plane entirely (the default
+    state); any policy object (normally a
+    :class:`repro.guard.GuardPolicy`) enables it.
+    """
+    GUARD.enabled = policy is not None
+    GUARD.policy = policy
+
+
 class OSConfig(Enum):
     """Which OS stack runs the application ranks."""
 

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from ..config import FAULTS, TRACE
+from ..config import FAULTS, GUARD, TRACE
 from ..errors import DriverError, FastPathUnavailable, TransientDeviceError
 from ..hw.hfi import Packet, SdmaRequestGroup
 from ..obs.spans import track_of
@@ -164,8 +164,17 @@ class HFIPicoDriver(PicoDriver):
             "pico.writev", track_of(self), cat="fastpath",
             args={"nbytes": total, "descs": len(descs)}) \
             if TRACE.enabled else None
+        guard = self.linux_driver.guard if GUARD.enabled else None
         try:
-            engine = self.hfi.pick_engine()
+            if guard is not None:
+                # suspended device: park on the queued-IO list; resume()
+                # replays us in arrival order
+                yield from guard.park_if_suspended()
+            # with the guard installed, pick over healthy engines only
+            # (a DOWN engine is routed around at dispatch time; PROBING
+            # admits one probe)
+            engine = (guard.pick_healthy_engine(self.hfi)
+                      if guard is not None else self.hfi.pick_engine())
             sstate = self._view(
                 "sdma_state",
                 self.linux_driver.engine_states[engine.index].addr)
@@ -177,8 +186,12 @@ class HFIPicoDriver(PicoDriver):
                 # (section 3: the slow path handles everything the fast
                 # path does not).
                 lwk.tracer.count("pico.engine_not_running")
+                if guard is not None:
+                    guard.record_failure(guard.engine_path(engine.index),
+                                         "engine not running at fast path")
                 raise FastPathUnavailable(
-                    f"SDMA engine {engine.index} not running")
+                    f"SDMA engine {engine.index} not running",
+                    engine=engine.index)
 
             meta_addr, alloc_cost = lwk.alloc.kmalloc(192, task.core_id)
             yield sim.timeout(sc.writev_base_pico
@@ -223,9 +236,14 @@ class HFIPicoDriver(PicoDriver):
                 pq.add("n_reqs", -1)
                 kfree_cost = lwk.alloc.kfree(meta_addr, task.core_id)
                 yield sim.timeout(kfree_cost)
+                if guard is not None:
+                    guard.record_failure(guard.engine_path(engine.index),
+                                         f"submit failed: {submit_exc}")
                 raise FastPathUnavailable(
-                    f"pico writev submit failed: {submit_exc}") \
-                    from submit_exc
+                    f"pico writev submit failed: {submit_exc}",
+                    engine=engine.index) from submit_exc
+            if guard is not None:
+                guard.record_success(guard.engine_path(engine.index))
         finally:
             if TRACE.enabled and span is not None:
                 TRACE.collector.end_span(span)

@@ -44,7 +44,16 @@ class FastPathUnavailable(DriverError):
     the fast path.  The McKernel syscall dispatcher catches this and
     re-issues the call over the offloaded Linux slow path (graceful
     degradation, paper section 3: the slow path "handles everything").
+
+    ``engine`` carries the index of the SDMA engine that declined the
+    call when one was already reserved (``None`` for failures before
+    engine selection), so the dispatcher's fallback accounting and the
+    guard plane's per-path breakers can attribute the failure.
     """
+
+    def __init__(self, msg: str, engine: "int | None" = None):
+        super().__init__(msg)
+        self.engine = engine
 
 
 class TransientDeviceError(DriverError):

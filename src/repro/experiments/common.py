@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from ..config import ANALYSIS, FAULTS, TRACE, OSConfig
+from ..config import ANALYSIS, FAULTS, GUARD, TRACE, OSConfig
 from ..core.hfi_pico import HFIPicoDriver
 from ..errors import ReproError
 from ..hw.fabric import Fabric
@@ -40,6 +40,9 @@ class MachineNode:
     mckernel: Optional[object] = None
     pico: Optional[HFIPicoDriver] = None
     ranks: List[Task] = field(default_factory=list)
+    #: per-device :class:`repro.guard.GuardManager`, when
+    #: ``repro.config.GUARD`` carries a policy (guarded runs)
+    guard: Optional[object] = None
 
 
 class Machine:
@@ -110,6 +113,16 @@ class Machine:
         driver = Hfi1Driver(version=driver_version)
         linux.load_driver(driver)
         mnode = MachineNode(node=node, linux=linux, driver=driver)
+        if GUARD.enabled and GUARD.policy is not None:
+            from ..guard import GuardManager
+            manager = GuardManager(self.sim, GUARD.policy,
+                                   len(node.hfi.engines),
+                                   tracer=self.tracer,
+                                   label=f"node{node_id}")
+            driver.guard = manager
+            for eng, gate in zip(node.hfi.engines, manager.gates):
+                eng.gate = gate
+            mnode.guard = manager
         if self.os_config.is_multikernel:
             mnode.ihk = IhkManager(self.sim, self.params, node, linux)
             mnode.mckernel = mnode.ihk.boot_mckernel(

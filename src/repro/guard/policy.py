@@ -1,0 +1,69 @@
+"""Guard policy knobs: breaker thresholds, probe hysteresis, watermarks.
+
+One frozen dataclass so a chaos campaign, a PicoCheck scenario and a
+unit test can each pin an explicit policy and the run is a pure
+function of it (the same discipline :mod:`repro.params` applies to the
+hardware calibration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ReproError
+from ..units import USEC
+
+
+@dataclass(frozen=True)
+class GuardPolicy:
+    """Tunables of the guard plane (see :mod:`repro.guard`).
+
+    The defaults are conservative: a path must fail half of its recent
+    window to go DOWN, and the congestion marks sit comfortably under
+    the 128-slot SDMA descriptor ring so the gate engages before the
+    hardware ring fills.
+    """
+
+    #: sliding window length: how many recent submit outcomes per path
+    #: the breaker remembers.
+    failure_window: int = 8
+    #: failures within the window that mark the path DOWN (CLOSED->OPEN).
+    failure_threshold: int = 4
+    #: consecutive probe successes required to re-admit the path
+    #: (PROBING->CLOSED) — the failback hysteresis ``M``.
+    probe_successes: int = 2
+    #: how long an OPEN path waits before admitting probe traffic.
+    probe_backoff: float = 200 * USEC
+    #: backoff growth factor applied each time a probe fails.
+    probe_backoff_factor: float = 2.0
+    #: cap on the grown probe backoff.
+    probe_backoff_max: float = 5_000 * USEC
+    #: bound on outstanding (submitted, not yet drained) descriptors per
+    #: engine — the guard's ``qdepth`` in px-fuse terms.
+    qdepth: int = 64
+    #: outstanding descriptors at which the congestion flag raises
+    #: (submitters start queuing).
+    nr_congestion_on: int = 48
+    #: outstanding descriptors at which the congestion flag clears
+    #: (queued submitters drain, in arrival order).
+    nr_congestion_off: int = 16
+
+    def __post_init__(self) -> None:
+        """Validate the cross-field invariants the FSM relies on."""
+        if self.failure_window < 1 or self.failure_threshold < 1:
+            raise ReproError("guard window/threshold must be >= 1")
+        if self.failure_threshold > self.failure_window:
+            raise ReproError(
+                f"failure_threshold {self.failure_threshold} exceeds "
+                f"failure_window {self.failure_window}")
+        if self.probe_successes < 1:
+            raise ReproError("probe_successes must be >= 1")
+        if self.probe_backoff <= 0 or self.probe_backoff_factor < 1.0:
+            raise ReproError("probe backoff must be positive and "
+                             "non-shrinking")
+        if not (0 < self.nr_congestion_off < self.nr_congestion_on
+                <= self.qdepth):
+            raise ReproError(
+                f"watermarks must satisfy 0 < off < on <= qdepth, got "
+                f"off={self.nr_congestion_off} on={self.nr_congestion_on} "
+                f"qdepth={self.qdepth}")

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..analysis.lockdep import irq_enter, irq_exit
-from ..config import FAULTS, TRACE
+from ..config import FAULTS, GUARD, TRACE
 from ..errors import DriverError, ReproError
 from ..obs.spans import track_of
 from ..params import NicParams
@@ -157,6 +157,10 @@ class SdmaEngine:
         #: True between a hardware halt and the driver's restart
         self.halted = False
         self._restart_evt: Optional[Event] = None
+        #: optional :class:`repro.guard.CongestionGate` bounding this
+        #: engine's outstanding descriptors (installed by the machine
+        #: builder when the guard plane is enabled; ``None`` otherwise)
+        self.gate = None
 
     @property
     def free_slots(self) -> int:
@@ -202,6 +206,10 @@ class SdmaEngine:
                 raise DriverError(
                     f"descriptor of {desc.nbytes}B exceeds hardware max "
                     f"{self.device.params.sdma_max_request}B")
+        if GUARD.enabled and self.gate is not None:
+            # congestion watermarks: park (FIFO) while the engine is over
+            # its high mark instead of racing the ring-full wait below
+            yield from self.gate.acquire_slots(len(group.descriptors))
         last_idx = len(group.descriptors) - 1
         for i, desc in enumerate(group.descriptors):
             while self.free_slots == 0:
@@ -263,6 +271,8 @@ class SdmaEngine:
                         group.packet = replace(group.packet, trace=dspan)
                     self.device._transmit(group.packet)
                     self.device.raise_irq(group)
+            if GUARD.enabled and self.gate is not None and burst:
+                self.gate.release_slots(len(burst))
             while self._space_waiters and self.free_slots > 0:
                 self._space_waiters.popleft().succeed()
 

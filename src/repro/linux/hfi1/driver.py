@@ -16,10 +16,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ...config import FAULTS, TRACE
+from ...config import FAULTS, GUARD, TRACE
 from ...core.lockclasses import declare_lock_class
 from ...core.structs import StructInstance
-from ...errors import BadSyscall, DriverError, TransientDeviceError
+from ...errors import (BadSyscall, DeviceTimeout, DriverError,
+                       TransientDeviceError)
 from ...hw.hfi import Packet, RcvContext, SdmaRequestGroup
 from ...obs.spans import track_of
 from ...sim import Event
@@ -81,6 +82,10 @@ class Hfi1Driver(FileOps):
         self._recovering = set()
         #: submitters parked until an engine re-enters S99_RUNNING
         self._engine_waiters: Dict[int, List[Event]] = {}
+        #: optional :class:`repro.guard.GuardManager` for this device
+        #: (installed by the machine builder when the guard plane is
+        #: enabled; ``None`` otherwise)
+        self.guard = None
 
     # -- module load ---------------------------------------------------------
 
@@ -232,6 +237,10 @@ class Hfi1Driver(FileOps):
         if TRACE.enabled:
             group.trace_ctx = span
         try:
+            if GUARD.enabled and self.guard is not None:
+                # suspended device: park on the queued-IO list; resume()
+                # replays us in arrival order
+                yield from self.guard.park_if_suspended()
             engine = self.hfi.pick_engine()
             yield from self._await_engine_running(engine)
             yield from self.sdma_lock.acquire("linux", kernel.aspace)
@@ -351,6 +360,11 @@ class Hfi1Driver(FileOps):
         if engine.index in self._recovering:
             return
         self._recovering.add(engine.index)
+        if GUARD.enabled and self.guard is not None:
+            # halt events feed the per-engine breaker exactly once per
+            # recovery cycle (the dedup above keeps retriggered IRQs out)
+            self.guard.record_failure(self.guard.engine_path(engine.index),
+                                      reason)
         self.engine_states[engine.index].set("go_s99_running", 0)
         self.hfi.tracer.count("hfi.sdma_recoveries")
         self.kernel.interrupts.deliver(self._sdma_recover, engine, reason)
@@ -371,19 +385,36 @@ class Hfi1Driver(FileOps):
         engine.restart()
         self._recovering.discard(engine.index)
         for waiter in self._engine_waiters.pop(engine.index, []):
-            waiter.succeed()
+            # a waiter may already have fired its submit-side deadline
+            if not waiter.triggered:
+                waiter.succeed()
 
     def _await_engine_running(self, engine):
         # Generator: the slow path blocks (it can afford to) until the
         # engine's published state is S99_RUNNING again.  If the engine
         # halted without an error IRQ having fired yet, kick recovery
         # ourselves — this is the driver's submit-side halt detection.
+        # The wait is bounded by sdma_wait_timeout: an engine that never
+        # returns to S99_RUNNING (recovery wedged, hardware dead) must
+        # surface a typed DeviceTimeout instead of hanging the submitter
+        # forever.
+        sim = self.kernel.sim
         state = self.engine_states[engine.index]
+        deadline = sim.now + self.kernel.params.nic.sdma_wait_timeout
         while (state.get("current_state") != SDMA_STATE_S99_RUNNING
                 or state.get("go_s99_running") != 1):
+            if sim.now >= deadline:
+                self.hfi.tracer.count("hfi.sdma_wait_timeouts")
+                raise DeviceTimeout(
+                    f"SDMA engine {engine.index} did not return to "
+                    f"S99_RUNNING within "
+                    f"{self.kernel.params.nic.sdma_wait_timeout * 1e6:.0f}us")
             self._sdma_error_irq(engine, "halt detected at submit")
-            waiter = Event(self.kernel.sim)
+            waiter = Event(sim)
             self._engine_waiters.setdefault(engine.index, []).append(waiter)
+            # wake at the deadline even if recovery never completes
+            sim.timeout(deadline - sim.now).add_callback(
+                lambda _evt, w=waiter: None if w.triggered else w.succeed())
             yield waiter
 
     # -- interrupt handling ----------------------------------------------------------------

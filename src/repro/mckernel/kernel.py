@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from ..config import TRACE
+from ..config import GUARD, TRACE
 from ..core.lockclasses import declare_lock_class
 from ..core.picodriver import PicoDriverRegistry
 from ..errors import BadSyscall, FastPathUnavailable, ReproError
@@ -181,21 +181,44 @@ class McKernel(KernelBase):
                     f"pico.{'fast' if decision.handled else 'offload'}.{name}")
                 if decision.handled:
                     driver = self.pico.lookup(path)
+                    guard = (getattr(getattr(driver, "linux_driver", None),
+                                     "guard", None)
+                             if GUARD.enabled else None)
+                    if guard is not None and not guard.admits(name):
+                        # Dispatch-time routing: every path the guard
+                        # tracks for this call is DOWN, so go straight
+                        # to offload without exception churn.
+                        self.tracer.count("guard.routed_offload")
+                        self.tracer.count(f"guard.routed_offload.{name}")
+                        ret = yield from self._guarded_offload(
+                            task, name, args, guard)
+                        return ret
                     try:
                         ret = yield from driver.fast_call(task, name, args)
                         return ret
-                    except FastPathUnavailable:
+                    except FastPathUnavailable as exc:
                         # Graceful degradation: the fast path declined
                         # (halted engine, failed submit); the unmodified
                         # Linux driver handles everything, so re-issue
                         # the call over the offload path.
                         self.tracer.count("pico.fallbacks")
                         self.tracer.count(f"pico.fallback.{name}")
+                        if exc.engine is not None:
+                            # per-engine attribution so flap reports can
+                            # name which engine degraded
+                            self.tracer.count(
+                                f"pico.fallback.engine{exc.engine}")
                         if TRACE.enabled:
                             TRACE.collector.instant_span(
                                 "pico.fallback", track_of(self),
-                                cat="recovery", args={"syscall": name})
-                        ret = yield from self._offload(task, name, args)
+                                cat="recovery",
+                                args={"syscall": name,
+                                      "engine": exc.engine})
+                        if guard is not None:
+                            ret = yield from self._guarded_offload(
+                                task, name, args, guard)
+                        else:
+                            ret = yield from self._offload(task, name, args)
                         return ret
                 if name == "close":
                     ret = yield from self._offload(task, name, args)
@@ -209,6 +232,24 @@ class McKernel(KernelBase):
                 proxy = self.proxy_for(task)
                 file = self.linux.vfs.file_for(proxy.name, ret)
                 self._device_fds[task.name][ret] = (path, file)
+        return ret
+
+    def _guarded_offload(self, task: Task, name: str, args: tuple, guard):
+        """Offload with the outcome fed to the guard's offload breaker.
+
+        The offload path is the route of last resort, so its breaker
+        never blocks dispatch — it only attributes failures so a flap
+        report can tell "fast path degraded" from "device dead".
+        """
+        try:
+            ret = yield from self._offload(task, name, args)
+        except ReproError as exc:
+            if guard is not None:
+                guard.record_failure("offload",
+                                     f"{type(exc).__name__}: {exc}")
+            raise
+        if guard is not None:
+            guard.record_success("offload")
         return ret
 
     def _offload(self, task: Task, name: str, args: tuple):

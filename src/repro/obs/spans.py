@@ -115,6 +115,10 @@ class SpanCollector(object):
             hfi.trace_track = f"{base}/hfi"
             for j, eng in enumerate(hfi.engines):
                 eng.trace_track = f"{base}/sdma{j}"
+            if getattr(mn, "guard", None) is not None:
+                # guarded runs: breaker transitions and congestion
+                # instants get their own per-node track
+                mn.guard.trace_track = f"{base}/guard"
 
     @property
     def now(self) -> float:

@@ -77,6 +77,11 @@ class NicParams:
     #: S10_HW_START_UP_HALT_WAIT dwell: descriptor queue flush + CSR
     #: reprogramming before the engine re-enters S99_RUNNING).
     sdma_restart_cost: float = 40 * USEC
+    #: Submit-side bound on waiting for a halted engine to return to
+    #: S99_RUNNING (covers several back-to-back restart cycles); when it
+    #: elapses the slow path surfaces a typed :class:`DeviceTimeout`
+    #: instead of hanging the submitter on an engine that never recovers.
+    sdma_wait_timeout: float = 400 * USEC
 
 
 @dataclass(frozen=True)

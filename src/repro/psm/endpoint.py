@@ -161,8 +161,16 @@ class Endpoint:
             else:
                 done = Event(self.sim)
                 meta["completion"] = done
-            yield from self.task.syscall("writev", self.fd,
-                                         [meta, (buffer, nbytes)])
+            try:
+                yield from self.task.syscall("writev", self.fd,
+                                             [meta, (buffer, nbytes)])
+            except DeviceTimeout:
+                if not FAULTS.enabled:
+                    raise
+                # the submit timed out on a wedged device (engine never
+                # returned to running): the watchdog below owns
+                # retransmission, so swallow the typed failure here
+                self.tracer.count("psm.send_timeouts")
             self.tracer.count("psm.eager_sdma_sends")
             if FAULTS.enabled:
                 self.sim.process(self._eager_watchdog(seq))
@@ -343,10 +351,15 @@ class Endpoint:
             if entry["via"] == "pio":
                 yield from self.hfi.pio_send(entry["pkt"])
             else:
-                yield from self.task.syscall(
-                    "writev", self.fd,
-                    [dict(entry["meta"]), (entry["buffer"],
-                                           entry["nbytes"])])
+                try:
+                    yield from self.task.syscall(
+                        "writev", self.fd,
+                        [dict(entry["meta"]), (entry["buffer"],
+                                               entry["nbytes"])])
+                except DeviceTimeout:
+                    # device wedged for this attempt; keep the backoff
+                    # loop alive — a later retry may land post-recovery
+                    self.tracer.count("psm.retransmit_timeouts")
             timeout *= psm.retry_backoff
         entry = self._pending_eager.pop(seq, None)
         if entry is not None and not entry["req"].done:
@@ -562,9 +575,20 @@ class Endpoint:
                 meta["csum"] = packet_checksum(
                     "expected", ("win", cts.msg_id, cts.window), cts.length,
                     None, None)
-            yield from self.task.syscall(
-                "writev", self.fd,
-                [meta, (flow.buffer + cts.offset, cts.length)])
+            try:
+                yield from self.task.syscall(
+                    "writev", self.fd,
+                    [meta, (flow.buffer + cts.offset, cts.length)])
+            except DeviceTimeout as exc:
+                # The window submit itself timed out (device wedged past
+                # the driver's bounded engine wait).  Fail the flow with
+                # the typed error instead of letting it escape and kill
+                # the tx progress worker.
+                self.tracer.count("psm.send_window_timeouts")
+                self._send_flows.pop(cts.msg_id, None)
+                if not flow.request.done:
+                    flow.request.event.fail(exc)
+                return
             flow.submitted += 1
         finally:
             if TRACE.enabled and span is not None:

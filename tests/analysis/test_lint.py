@@ -1,4 +1,4 @@
-"""Tests for the PicoDriver protocol lint (PD001-PD012).
+"""Tests for the PicoDriver protocol lint (PD001-PD013).
 
 Each rule gets a violation fixture and a compliant twin; the suite also
 pins the suppression syntax and — the acceptance bar — that the shipped
@@ -579,3 +579,65 @@ def test_pd012_exempts_the_checker_itself():
     assert lint(src, path="src/repro/analysis/check.py") == []
     assert lint(src, path="src/repro/analysis/check_fixtures.py") == []
     assert codes(lint(src, path="src/repro/sim/engine.py")) == ["PD012"]
+
+
+# --- PD013 guard-hook gating --------------------------------------------------
+
+def test_pd013_unguarded_hook_calls():
+    findings = lint("""\
+        def writev(self, task, fd):
+            engine = self.guard.pick_healthy_engine(self.hfi)
+            self.guard.record_failure("engine0", "halt")
+        """)
+    assert codes(findings) == ["PD013", "PD013"]
+    assert "guard-plane hook" in findings[0].message
+    assert "config.GUARD" in findings[0].message
+
+
+def test_pd013_guard_enabled_gate_is_clean():
+    findings = lint("""\
+        def submit(self, group):
+            if GUARD.enabled and self.gate is not None:
+                yield from self.gate.acquire_slots(len(group.descriptors))
+        """)
+    assert findings == []
+
+
+def test_pd013_guard_is_none_test_is_clean():
+    """The dispatcher idiom: resolve the manager once under
+    ``GUARD.enabled``, then test the local for installation."""
+    findings = lint("""\
+        def fast_writev(self, task, fd):
+            guard = self.linux_driver.guard if GUARD.enabled else None
+            if guard is not None:
+                yield from guard.park_if_suspended()
+                guard.record_success("engine0")
+        """)
+    assert findings == []
+
+
+def test_pd013_else_branch_is_not_guarded():
+    findings = lint("""\
+        def submit(self):
+            if guard is not None:
+                pass
+            else:
+                guard.record_failure("engine0")
+        """)
+    assert codes(findings) == ["PD013"]
+
+
+def test_pd013_exempts_the_guard_package_itself():
+    """The manager delegates to its own breakers unconditionally by
+    design (``repro/guard/*``)."""
+    src = """\
+        def record_success(self, path):
+            self.breakers[path].record_success()
+        """
+    assert lint(src, path="src/repro/guard/manager.py") == []
+    assert codes(lint(src, path="src/repro/hw/hfi.py")) == ["PD013"]
+
+
+def test_pd013_in_rules_table():
+    assert "PD013" in RULES
+    assert "PD013" in rules_table()

@@ -1,0 +1,1 @@
+"""Tests for the PicoGuard fast-path health manager."""

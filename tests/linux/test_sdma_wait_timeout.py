@@ -1,0 +1,78 @@
+"""Regression: a permanently-halted SDMA engine must surface a typed
+DeviceTimeout from the slow path's engine wait instead of hanging the
+submitter forever (the pre-PicoGuard behaviour was an unbounded wait)."""
+
+import pytest
+
+from repro.config import OSConfig
+from repro.errors import DeviceTimeout
+from repro.experiments import build_machine
+from repro.linux.hfi1.debuginfo import SDMA_STATE_S80_HW_FREEZE
+from repro.sim import Event
+from repro.units import MiB
+
+
+@pytest.fixture
+def machine():
+    return build_machine(2, OSConfig.LINUX)
+
+
+def freeze_forever(machine, node=0):
+    """Freeze every engine and disarm recovery so no IRQ ever brings
+    the state machine back to S99_RUNNING."""
+    driver = machine.nodes[node].driver
+    for state in driver.engine_states:
+        state.set("current_state", SDMA_STATE_S80_HW_FREEZE)
+        state.set("go_s99_running", 0)
+    driver._sdma_error_irq = lambda engine, reason: None
+    return driver
+
+
+def test_wedged_engine_wait_surfaces_device_timeout(machine):
+    sim = machine.sim
+    driver = freeze_forever(machine)
+    engine = machine.nodes[0].node.hfi.engines[0]
+    t0 = sim.now
+    proc = sim.process(driver._await_engine_running(engine))
+    sim.run()
+    assert isinstance(proc.exception, DeviceTimeout)
+    assert "S99_RUNNING" in str(proc.exception)
+    # the wait was bounded by exactly the configured budget
+    budget = machine.params.nic.sdma_wait_timeout
+    assert sim.now - t0 == pytest.approx(budget)
+    assert machine.tracer.get_count("hfi.sdma_wait_timeouts") == 1
+
+
+def test_wedged_engine_writev_fails_typed_not_hung(machine):
+    """End to end: a writev against a permanently-dead device returns a
+    typed error to the caller instead of wedging the task."""
+    sim = machine.sim
+    freeze_forever(machine)
+    machine.nodes[1].node.hfi.alloc_context("sink")
+
+    def body(task):
+        fd = yield from task.syscall("open", "/dev/hfi1_0")
+        buf = yield from task.syscall("mmap", 1 * MiB)
+        meta = {"dst_node": 1, "dst_ctxt": 0, "kind": "eager",
+                "completion": Event(sim)}
+        yield from task.syscall("writev", fd, [meta, (buf, 1 * MiB)])
+
+    task = machine.spawn_rank(0, 0)
+    proc = sim.process(body(task))
+    sim.run()
+    assert isinstance(proc.exception, DeviceTimeout)
+
+
+def test_recovering_engine_wait_still_completes(machine):
+    """The deadline must not fire spuriously: with recovery left armed
+    the wait returns normally well inside the budget."""
+    sim = machine.sim
+    driver = machine.nodes[0].driver
+    for state in driver.engine_states:
+        state.set("current_state", SDMA_STATE_S80_HW_FREEZE)
+        state.set("go_s99_running", 0)
+    engine = machine.nodes[0].node.hfi.engines[0]
+    proc = sim.process(driver._await_engine_running(engine))
+    sim.run()
+    assert proc.ok
+    assert machine.tracer.get_count("hfi.sdma_wait_timeouts") == 0

@@ -1,0 +1,167 @@
+"""Property tests pinning the reliability watchdogs' exponential
+backoff: every retransmit of the eager/RTS/CTS daemons fires at the
+geometric schedule ``retry_timeout * retry_backoff**k``, and an
+exhausted budget surfaces the right typed error."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import DeviceTimeout, TransferCorrupt
+from repro.psm.endpoint import Endpoint
+from repro.sim import Event, Simulator, Tracer
+from repro.units import USEC
+
+PARAM_GRID = [(400 * USEC, 2.0, 6), (100 * USEC, 1.5, 4),
+              (50 * USEC, 3.0, 3)]
+
+
+def make_fake(retry_timeout, retry_backoff, max_retries):
+    """A minimal endpoint stand-in recording retransmit timestamps, so
+    the daemons run against a real clock but fake device/syscall
+    layers."""
+    sim = Simulator()
+    sends = []
+
+    def pio_send(pkt):
+        sends.append(sim.now)
+        return
+        yield  # pragma: no cover - generator shape for ``yield from``
+
+    def failing_writev(name, fd, iov):
+        sends.append(sim.now)
+        raise DeviceTimeout("device wedged")
+        yield  # pragma: no cover - generator shape for ``yield from``
+
+    fake = SimpleNamespace(
+        sim=sim,
+        tracer=Tracer(),
+        fd=3,
+        params=SimpleNamespace(psm=SimpleNamespace(
+            retry_timeout=retry_timeout, retry_backoff=retry_backoff,
+            max_retries=max_retries)),
+        hfi=SimpleNamespace(pio_send=pio_send),
+        task=SimpleNamespace(syscall=failing_writev),
+        _pending_eager={}, _send_flows={}, _recv_flows={},
+        failed_flows=[])
+    fake._fail_recv_flow = lambda flow, exc: fake.failed_flows.append(
+        (flow, exc))
+    return sim, sends, fake
+
+
+def geometric_schedule(retry_timeout, retry_backoff, n):
+    """Cumulative fire times of ``n`` backoff sleeps."""
+    times, t = [], 0.0
+    for k in range(n):
+        t += retry_timeout * retry_backoff ** k
+        times.append(t)
+    return times
+
+
+@pytest.mark.parametrize("timeout,backoff,retries", PARAM_GRID)
+def test_eager_watchdog_backoff_sequence_and_exhaustion(timeout, backoff,
+                                                        retries):
+    sim, sends, fake = make_fake(timeout, backoff, retries)
+    req = SimpleNamespace(done=False, event=Event(sim))
+    fake._pending_eager[7] = {"via": "pio", "pkt": object(), "req": req,
+                              "tag": ("t", 7), "nbytes": 1024}
+    sim.process(Endpoint._eager_watchdog(fake, 7))
+    sim.run()
+    assert sends == pytest.approx(
+        geometric_schedule(timeout, backoff, retries))
+    assert 7 not in fake._pending_eager
+    assert isinstance(req.event.exception, DeviceTimeout)
+    assert fake.tracer.counters["psm.send_failures"] == 1
+
+
+def test_eager_watchdog_sdma_retry_survives_wedged_device():
+    """A writev that itself DeviceTimeouts must not kill the backoff
+    loop: every budgeted attempt still fires, then the typed error
+    surfaces (the per-engine attribution satellite's counter)."""
+    timeout, backoff, retries = PARAM_GRID[0]
+    sim, sends, fake = make_fake(timeout, backoff, retries)
+    req = SimpleNamespace(done=False, event=Event(sim))
+    fake._pending_eager[9] = {"via": "sdma", "meta": {"kind": "eager"},
+                              "buffer": 0x1000, "req": req,
+                              "tag": ("t", 9), "nbytes": 96 * 1024}
+    sim.process(Endpoint._eager_watchdog(fake, 9))
+    sim.run()
+    assert sends == pytest.approx(
+        geometric_schedule(timeout, backoff, retries))
+    assert fake.tracer.counters["psm.retransmit_timeouts"] == retries
+    assert isinstance(req.event.exception, DeviceTimeout)
+
+
+def test_eager_watchdog_stops_after_ack():
+    timeout, backoff, retries = PARAM_GRID[0]
+    sim, sends, fake = make_fake(timeout, backoff, retries)
+    req = SimpleNamespace(done=False, event=Event(sim))
+    fake._pending_eager[5] = {"via": "pio", "pkt": object(), "req": req,
+                              "tag": ("t", 5), "nbytes": 1024}
+
+    def acker():
+        yield sim.timeout(timeout * 1.5)  # after the first retransmit
+        fake._pending_eager.pop(5)
+
+    sim.process(acker())
+    sim.process(Endpoint._eager_watchdog(fake, 5))
+    sim.run()
+    assert len(sends) == 1
+    assert req.event.exception is None and not req.event.triggered
+
+
+@pytest.mark.parametrize("timeout,backoff,retries", PARAM_GRID)
+def test_rts_watchdog_backoff_sequence_and_exhaustion(timeout, backoff,
+                                                      retries):
+    sim, sends, fake = make_fake(timeout, backoff, retries)
+    flow = SimpleNamespace(cts_seen=False, finished=False, msg_id="m1",
+                           request=SimpleNamespace(done=False,
+                                                   event=Event(sim)))
+    fake._send_flows["m1"] = flow
+    sim.process(Endpoint._rts_watchdog(fake, flow, object()))
+    sim.run()
+    assert sends == pytest.approx(
+        geometric_schedule(timeout, backoff, retries))
+    assert "m1" not in fake._send_flows
+    exc = flow.request.event.exception
+    assert isinstance(exc, DeviceTimeout) and "RTS" in str(exc)
+
+
+def test_rts_watchdog_stands_down_once_cts_arrives():
+    timeout, backoff, retries = PARAM_GRID[0]
+    sim, sends, fake = make_fake(timeout, backoff, retries)
+    flow = SimpleNamespace(cts_seen=True, finished=False, msg_id="m1",
+                           request=SimpleNamespace(done=False,
+                                                   event=Event(sim)))
+    fake._send_flows["m1"] = flow
+    sim.process(Endpoint._rts_watchdog(fake, flow, object()))
+    sim.run()
+    assert sends == [] and not flow.request.event.triggered
+
+
+@pytest.mark.parametrize("timeout,backoff,retries", PARAM_GRID)
+def test_cts_watchdog_backoff_sequence_and_typed_timeout(timeout, backoff,
+                                                         retries):
+    sim, sends, fake = make_fake(timeout, backoff, retries)
+    flow = SimpleNamespace(rts=SimpleNamespace(msg_id="m2"),
+                           arrived_windows=set(), corrupt_seen=False)
+    fake._recv_flows["m2"] = flow
+    sim.process(Endpoint._cts_watchdog(fake, flow, 0, object()))
+    sim.run()
+    assert sends == pytest.approx(
+        geometric_schedule(timeout, backoff, retries))
+    assert len(fake.failed_flows) == 1
+    _flow, exc = fake.failed_flows[0]
+    assert isinstance(exc, DeviceTimeout)
+
+
+def test_cts_watchdog_attributes_corruption():
+    timeout, backoff, retries = PARAM_GRID[2]
+    sim, _sends, fake = make_fake(timeout, backoff, retries)
+    flow = SimpleNamespace(rts=SimpleNamespace(msg_id="m3"),
+                           arrived_windows=set(), corrupt_seen=True)
+    fake._recv_flows["m3"] = flow
+    sim.process(Endpoint._cts_watchdog(fake, flow, 1, object()))
+    sim.run()
+    _flow, exc = fake.failed_flows[0]
+    assert isinstance(exc, TransferCorrupt)
