@@ -553,9 +553,10 @@ def get_scenarios() -> Dict[str, object]:
     explorer importable without the test rigs)."""
     from .check_fixtures import FlagRaceScenario
     from .check_guard import GuardBreakerScenario
+    from .check_pxd import PxdFallbackScenario
     scenarios = {}
     for scenario in (PingpongScenario(), FlagRaceScenario(),
-                     GuardBreakerScenario()):
+                     GuardBreakerScenario(), PxdFallbackScenario()):
         scenarios[scenario.name] = scenario
     return scenarios
 

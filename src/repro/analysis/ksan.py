@@ -194,6 +194,15 @@ class RaceDetector:
         self._lock_history.append((self._now(), lock_name, kernel,
                                    "released"))
 
+    def on_free(self, addr: int, size: int, heap) -> None:
+        """Heap hook: an allocation was freed — drop the shadow state of
+        every word inside it, so a recycled address starts a fresh
+        Eraser history instead of inheriting the dead object's."""
+        stale = [key for key in self._words
+                 if addr <= key[0] < addr + size]
+        for key in stale:
+            del self._words[key]
+
     def on_access(self, kind: str, addr: int, size: int, heap) -> None:
         """Heap hook: fold one read/write into the lockset analysis."""
         pending, self._pending = self._pending, None

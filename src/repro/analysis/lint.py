@@ -50,6 +50,13 @@ PD013    guard-hook gating: every guard-plane hook on the data path
          ``acquire_slots`` / ``release_slots``) sits behind a
          ``config.GUARD`` or ``guard``-is-installed check, so
          unguarded runs stay branch-cheap and bit-identical
+PD014    storage recovery-hook gating: in the replicated-storage stack
+         (``repro/linux/pxd``, the ``pxd_pico`` chassis) every
+         replica-recovery hook (``_maybe_probe`` / ``begin_probe`` /
+         ``suspend`` / ``resume``) sits behind a ``config.GUARD`` or
+         ``guard``-is-installed check; the fault-draw half of the
+         storage contract is PD007 tree-wide, and the blockdev device
+         model is exempt (it moves bytes unconditionally)
 PD100    unused suppression: a ``# pd-ignore`` comment that suppresses
          nothing (rots silently and hides future real findings)
 =======  ==============================================================
@@ -116,6 +123,10 @@ RULES: Dict[str, Tuple[str, str]] = {
               "guard the hook with 'if GUARD.enabled' or a "
               "'guard'-is-installed test (if guard is not None: ...) so "
               "unguarded runs never consult the health manager"),
+    "PD014": ("storage recovery-hook gating",
+              "guard the probe/suspend recovery hook with 'if "
+              "GUARD.enabled' or a 'guard'-is-installed test so "
+              "unguarded storage runs never touch the health plane"),
     "PD100": ("unused suppression",
               "delete the stale '# pd-ignore' comment (or narrow its "
               "rule list to the codes actually found on the line)"),
@@ -525,6 +536,37 @@ def _check_guard_gating(path: str, tree: ast.AST,
                          _GUARD_HOOK_ATTRS, "PD013", "guard-plane hook")
 
 
+#: the pxd replica-recovery hook surface PD014 polices at call sites
+_STORAGE_RECOVERY_ATTRS = frozenset({"_maybe_probe", "begin_probe",
+                                     "suspend", "resume"})
+
+
+def _check_storage_gating(path: str, tree: ast.AST,
+                          findings: List[Finding]) -> None:
+    """PD014: every storage recovery hook is behind a gate.
+
+    Scoped to the replicated-storage stack (``repro/linux/pxd`` and the
+    ``pxd_pico`` chassis): the probe-kick and suspend/resume surface
+    there extends PD013's generic guard hooks with the names the pxd
+    recovery FSM actually uses, so a zero-fault unguarded storage run
+    never branches into the health plane.  The fault-draw half of the
+    storage contract (``*.fires(...)`` behind ``FAULTS``) is already
+    enforced tree-wide by PD007.  ``repro/hw/blockdev.py`` is exempt:
+    the device model only moves bytes and delivers interrupts — its
+    watchdog redelivery must run unconditionally, guard plane or not —
+    and the guard plane itself (``repro/guard``) is exempt as with
+    PD013.
+    """
+    parts = os.path.normpath(path).split(os.sep)
+    if "guard" in parts or os.path.basename(path) == "blockdev.py":
+        return
+    if "pxd" not in parts and os.path.basename(path) != "pxd_pico.py":
+        return
+    _check_config_gating(path, tree, findings, ("GUARD", "guard"),
+                         _STORAGE_RECOVERY_ATTRS, "PD014",
+                         "storage recovery hook")
+
+
 # --- driver ------------------------------------------------------------------
 
 def lint_source(source: str, path: str = "<string>") -> List[Finding]:
@@ -548,6 +590,7 @@ def lint_source(source: str, path: str = "<string>") -> List[Finding]:
     _check_trace_gating(path, tree, findings)
     _check_scheduler_gating(path, tree, findings)
     _check_guard_gating(path, tree, findings)
+    _check_storage_gating(path, tree, findings)
     # PD008/PD009 live in the lockdep module (they share its static
     # lock-graph walker); imported here to keep lint importable from it
     from .lockdep import check_lock_order

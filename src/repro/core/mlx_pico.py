@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict
 
+from ..config import GUARD
 from ..errors import DriverError
 from ..linux.mlx import verbs
 from ..linux.mlx.driver import (MTT_PROGRAM_COST, MemoryRegion,
@@ -96,7 +97,16 @@ class MlxMemRegPicoDriver(PicoDriver):
         # one MTT entry per contiguous span — the whole point of the port
         entries = len(spans)
         self._dev_view()  # faults here if the address space is not unified
-        self.linux_driver.take_mtt(entries)
+        guard = self.linux_driver.guard if GUARD.enabled else None
+        try:
+            self.linux_driver.take_mtt(entries)
+        except DriverError as exc:
+            if guard is not None:
+                # resource exhaustion is path health, not a caller bug:
+                # feed the memreg breaker so dispatch routes around it
+                guard.record_failure(guard.path_name(0),
+                                     f"reg_mr: {exc}")
+            raise
         mr = StructInstance(self.linux_driver._defs["mlx5_ib_mr"], self.heap)
         lkey = self.linux_driver.alloc_key()
         mr.set("lkey", lkey)
@@ -112,6 +122,8 @@ class MlxMemRegPicoDriver(PicoDriver):
                               + entries * MTT_PROGRAM_COST)
         lwk.tracer.count("pico.mlx_reg_mr")
         lwk.tracer.record("pico.mtt_entries_per_mr", entries)
+        if guard is not None:
+            guard.record_success(guard.path_name(0))
         return {"lkey": lkey, "rkey": lkey + 1}
 
     def _dereg_mr(self, task, fd: int, arg):
@@ -127,4 +139,7 @@ class MlxMemRegPicoDriver(PicoDriver):
         region.mr.free()
         yield lwk.sim.timeout(DEREG_MR_BASE_PICO
                               + entries * MTT_PROGRAM_COST / 2)
+        guard = self.linux_driver.guard if GUARD.enabled else None
+        if guard is not None:
+            guard.record_success(guard.path_name(0))
         return 0

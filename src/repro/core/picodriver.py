@@ -55,8 +55,16 @@ class PicoDriver:
     device_path: str = ""
 
     def claims(self, syscall: str, args: tuple) -> FastPathDecision:
-        """Decide whether this invocation runs on the fast path."""
-        raise NotImplementedError
+        """Decide whether this invocation runs on the fast path.
+
+        Typed even at the base class: a driver with no ``claims`` is a
+        porting bug, and the dispatcher must surface it as a
+        :class:`DriverError` an application can handle — never a bare
+        ``NotImplementedError`` that escapes the syscall layer.
+        """
+        raise DriverError(
+            f"{type(self).__name__} implements no claims(); a PicoDriver "
+            f"must explicitly claim or offload every device syscall")
 
     def attach(self, lwk) -> None:
         """Called when registered with an LWK; perform layout extraction

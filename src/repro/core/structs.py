@@ -161,21 +161,29 @@ class StructInstance:
         off = self.defn.offset_of(field) + index * f.elem.size
         return f, self.addr + off
 
-    def get(self, field: str, index: int = 0) -> int:
-        """Read a field (array ``index`` optional)."""
+    def get(self, field: str, index: int = 0, *,
+            atomic: bool = False) -> int:
+        """Read a field (array ``index`` optional).  ``atomic=True``
+        models ``READ_ONCE``/``atomic_read`` — race-free in the KSan
+        model; use for lock-free reads of shared control words."""
         f, addr = self._loc(field, index)
-        _annotate(self.heap, self.kernel, f"{self.defn.name}.{field}")
+        _annotate(self.heap, self.kernel, f"{self.defn.name}.{field}",
+                  atomic=atomic)
         raw = self.heap.read_u(addr, f.elem.size)
         if f.elem.signed and raw >= 1 << (8 * f.elem.size - 1):
             raw -= 1 << (8 * f.elem.size)
         return raw
 
-    def set(self, field: str, value: int, index: int = 0) -> None:
-        """Write a field (array ``index`` optional)."""
+    def set(self, field: str, value: int, index: int = 0, *,
+            atomic: bool = False) -> None:
+        """Write a field (array ``index`` optional).  ``atomic=True``
+        models ``WRITE_ONCE``/``atomic_set`` — race-free in the KSan
+        model; use for lock-free writes of shared control words."""
         f, addr = self._loc(field, index)
         if value < 0:
             value += 1 << (8 * f.elem.size)
-        _annotate(self.heap, self.kernel, f"{self.defn.name}.{field}")
+        _annotate(self.heap, self.kernel, f"{self.defn.name}.{field}",
+                  atomic=atomic)
         self.heap.write_u(addr, f.elem.size, value)
 
     def add(self, field: str, delta: int, index: int = 0) -> int:
@@ -229,20 +237,26 @@ class StructView:
         self._check_index(f, index)
         return f, self.addr + f.offset + index * f.elem_size
 
-    def get(self, field: str, index: int = 0) -> int:
-        """Read a field (array ``index`` optional) from heap memory."""
+    def get(self, field: str, index: int = 0, *,
+            atomic: bool = False) -> int:
+        """Read a field (array ``index`` optional) from heap memory.
+        ``atomic=True`` models ``READ_ONCE``/``atomic_read``; see
+        :meth:`StructInstance.get`."""
         f, addr = self._loc(field, index)
         _annotate(self.heap, self.kernel,
-                  f"{self.layout.struct_name}.{field}")
+                  f"{self.layout.struct_name}.{field}", atomic=atomic)
         return self.heap.read_u(addr, f.elem_size)
 
-    def set(self, field: str, value: int, index: int = 0) -> None:
-        """Write a field (array ``index`` optional) to heap memory."""
+    def set(self, field: str, value: int, index: int = 0, *,
+            atomic: bool = False) -> None:
+        """Write a field (array ``index`` optional) to heap memory.
+        ``atomic=True`` models ``WRITE_ONCE``/``atomic_set``; see
+        :meth:`StructInstance.set`."""
         f, addr = self._loc(field, index)
         if value < 0:
             value += 1 << (8 * f.elem_size)
         _annotate(self.heap, self.kernel,
-                  f"{self.layout.struct_name}.{field}")
+                  f"{self.layout.struct_name}.{field}", atomic=atomic)
         self.heap.write_u(addr, f.elem_size, value)
 
     def add(self, field: str, delta: int, index: int = 0) -> int:

@@ -56,6 +56,20 @@ class FastPathUnavailable(DriverError):
         self.engine = engine
 
 
+class MediaError(DriverError):
+    """A block-device backing replica failed a media operation.
+
+    Carries the replica index so the pxd driver's per-path accounting
+    (tracker ``fails`` counters, guard breakers, eviction) can attribute
+    the failure; surfaced to the application only when *every*
+    in-service replica fails the same IO.
+    """
+
+    def __init__(self, msg: str, replica: "int | None" = None):
+        super().__init__(msg)
+        self.replica = replica
+
+
 class TransientDeviceError(DriverError):
     """A device operation failed in a retryable way (e.g. a TID_UPDATE
     that raced a receive-array update); the caller should back off and

@@ -507,30 +507,44 @@ def run_flap(smoke: bool = False,
         enable_fault_injection(None)
 
 
+def _run_storage(smoke: bool = False, **kw):
+    """Deferred import of the storage campaign (keeps the chaos module
+    light for runs that never touch the block device)."""
+    from .storage import run_storage
+    return run_storage(smoke=smoke, **kw)
+
+
 #: chaos workloads (the sweep harness is workload-shaped for growth;
 #: ping-pong style send/recv is the one the paper's figures build on,
-#: and ``flap`` is the PicoGuard sustained-fault/recovery campaign)
-WORKLOADS = {"pingpong": run_chaos, "flap": run_flap}
+#: ``flap`` is the PicoGuard sustained-fault/recovery campaign, and
+#: ``storage`` is the PicoBlock replicated-write sweep + drill)
+WORKLOADS = {"pingpong": run_chaos, "flap": run_flap,
+             "storage": _run_storage}
 
 
 def cmd_chaos(argv: List[str]) -> int:
     """Entry point for ``python -m repro chaos [workload] [--smoke]
-    [--flap]``."""
+    [--flap] [--storage]``."""
     smoke = "--smoke" in argv
     flap = "--flap" in argv
-    rest = [a for a in argv if a not in ("--smoke", "--flap")]
+    storage = "--storage" in argv
+    rest = [a for a in argv if a not in ("--smoke", "--flap", "--storage")]
     unknown = [a for a in rest if a.startswith("-")]
     if unknown:
         print(f"unknown option(s) {', '.join(unknown)}\n"
-              "usage: python -m repro chaos [workload] [--smoke] [--flap]")
+              "usage: python -m repro chaos [workload] [--smoke] [--flap] "
+              "[--storage]")
         return 2
-    workload = rest[0] if rest else ("flap" if flap else "pingpong")
+    workload = rest[0] if rest else (
+        "flap" if flap else ("storage" if storage else "pingpong"))
     if workload not in WORKLOADS:
         print(f"unknown chaos workload {workload!r}; choose from "
               f"{', '.join(WORKLOADS)}")
         return 2
     if workload == "flap" or flap:
         result = run_flap(smoke=smoke)
+    elif workload == "storage" or storage:
+        result = _run_storage(smoke=smoke)
     else:
         result = run_chaos(workload, smoke=smoke)
     print(result.render())

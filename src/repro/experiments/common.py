@@ -43,6 +43,11 @@ class MachineNode:
     #: per-device :class:`repro.guard.GuardManager`, when
     #: ``repro.config.GUARD`` carries a policy (guarded runs)
     guard: Optional[object] = None
+    #: the pxd replicated block-device stack, when
+    #: ``params.blk.replicas > 0`` (storage runs; absent by default)
+    pxd: Optional[object] = None
+    pxd_pico: Optional[object] = None
+    pxd_guard: Optional[object] = None
 
 
 class Machine:
@@ -123,6 +128,25 @@ class Machine:
             for eng, gate in zip(node.hfi.engines, manager.gates):
                 eng.gate = gate
             mnode.guard = manager
+        if self.params.blk.replicas > 0:
+            from ..hw.blockdev import BlockDevice
+            from ..linux.pxd import PxdDriver
+            node.blockdev = BlockDevice(self.sim, self.params.blk, node_id,
+                                        tracer=self.tracer)
+            node.blockdev.injector = self.injector
+            pxd = PxdDriver()
+            linux.load_driver(pxd)
+            mnode.pxd = pxd
+            if GUARD.enabled and GUARD.policy is not None:
+                from ..guard import GuardManager
+                pxd_guard = GuardManager(self.sim, GUARD.policy,
+                                         self.params.blk.replicas,
+                                         tracer=self.tracer,
+                                         label=f"node{node_id}.pxd",
+                                         path_prefix="replica",
+                                         data_syscalls=("writev",))
+                pxd.guard = pxd_guard
+                mnode.pxd_guard = pxd_guard
         if self.os_config.is_multikernel:
             mnode.ihk = IhkManager(self.sim, self.params, node, linux)
             mnode.mckernel = mnode.ihk.boot_mckernel(
@@ -133,6 +157,10 @@ class Machine:
             if self.os_config.has_picodriver:
                 mnode.pico = HFIPicoDriver(driver)
                 mnode.mckernel.register_picodriver(mnode.pico)
+                if mnode.pxd is not None:
+                    from ..core.pxd_pico import PxdPicoDriver
+                    mnode.pxd_pico = PxdPicoDriver(mnode.pxd)
+                    mnode.mckernel.register_picodriver(mnode.pxd_pico)
         return mnode
 
     # -- rank placement --------------------------------------------------------

@@ -25,6 +25,18 @@ The fault points (and where they are injected):
                    completion watchdog recovers it much later.
 ``tid.transient``  a TID_UPDATE ioctl fails retryably (receive-array
                    race); PSM backs off and retries.
+``media.read_error`` a replica's backing media fails a sector read; the
+                   pxd driver retries the next in-service replica.
+``media.write_error`` a replica's backing media rejects a sector write;
+                   the pxd driver evicts the replica from service.
+``media.torn_write`` a replica persists only a prefix of the write
+                   before failing it (power-loss style tear); evicted
+                   like a write error but leaves divergent media behind
+                   for the resync machinery to detect.
+``pxd.path_loss``  the whole path to a backing replica drops at submit
+                   time (cable pull); the IO never reaches the media.
+``blk.irq_lost``   a block-device completion interrupt is dropped; the
+                   device-side watchdog redelivers it much later.
 =================  ====================================================
 """
 
@@ -45,6 +57,11 @@ FAULT_POINTS = {
     "sdma.engine_halt": "sdma_engine_halt",
     "irq.lost": "irq_lost",
     "tid.transient": "tid_transient",
+    "media.read_error": "media_read_error",
+    "media.write_error": "media_write_error",
+    "media.torn_write": "media_torn_write",
+    "pxd.path_loss": "pxd_path_loss",
+    "blk.irq_lost": "blk_irq_lost",
 }
 
 
@@ -99,6 +116,11 @@ class FaultPlan:
     sdma_engine_halt: float = 0.0
     irq_lost: float = 0.0
     tid_transient: float = 0.0
+    media_read_error: float = 0.0
+    media_write_error: float = 0.0
+    media_torn_write: float = 0.0
+    pxd_path_loss: float = 0.0
+    blk_irq_lost: float = 0.0
     #: how long the driver-side completion watchdog waits before
     #: recovering a lost completion interrupt.
     irq_recovery_timeout: float = 60 * USEC

@@ -46,23 +46,32 @@ class GuardManager:
     """Health manager for one device's fast paths."""
 
     def __init__(self, sim: "Simulator", policy: "GuardPolicy",
-                 n_engines: int, tracer=None, label: str = "node0"):
+                 n_engines: int, tracer=None, label: str = "node0",
+                 path_prefix: str = "engine",
+                 data_syscalls: "tuple[str, ...]" = ("writev",)):
         self.sim = sim
         self.policy = policy
         self.tracer = tracer
         self.label = label
-        #: per-path breakers keyed ``engine0``.. plus ``offload``.
+        #: fast-path naming scheme: ``engine<i>`` for the HFI's SDMA
+        #: engines, ``replica<i>`` for the pxd block device's backing
+        #: replicas — one breaker per path either way.
+        self.path_prefix = path_prefix
+        #: syscalls whose fast path depends on per-path health (the
+        #: dispatcher's :meth:`admits` pre-check gates only these).
+        self.data_syscalls = tuple(data_syscalls)
+        #: per-path breakers keyed ``<prefix>0``.. plus ``offload``.
         self.breakers: Dict[str, PathBreaker] = {}
         for i in range(n_engines):
-            path = self.engine_path(i)
+            path = self.path_name(i)
             self.breakers[path] = PathBreaker(sim, policy, label, path,
                                               tracer=tracer)
         self.breakers[OFFLOAD_PATH] = PathBreaker(
             sim, policy, label, OFFLOAD_PATH, tracer=tracer)
-        #: per-engine congestion gates (index-aligned with the device's
-        #: engine list).
+        #: per-path congestion gates (index-aligned with the device's
+        #: engine/replica list).
         self.gates: List[CongestionGate] = [
-            CongestionGate(sim, policy, label, self.engine_path(i),
+            CongestionGate(sim, policy, label, self.path_name(i),
                            tracer=tracer, manager=self)
             for i in range(n_engines)]
         #: True between :meth:`suspend` and :meth:`resume`.
@@ -106,6 +115,11 @@ class GuardManager:
         """Breaker path name for SDMA engine ``index``."""
         return f"engine{index}"
 
+    def path_name(self, index: int) -> str:
+        """Breaker path name for fast path ``index`` under this
+        manager's naming scheme (``engine3``, ``replica1``, ...)."""
+        return f"{self.path_prefix}{index}"
+
     def gate_for(self, index: int) -> CongestionGate:
         """The congestion gate guarding SDMA engine ``index``."""
         return self.gates[index]
@@ -117,12 +131,13 @@ class GuardManager:
 
         The dispatcher calls this before attempting the fast path, so
         a degraded path is routed around without exception churn.
-        Only ``writev`` depends on SDMA engine health; every other
-        fast call (PIO sends, TID updates) stays admitted.
+        Only the manager's ``data_syscalls`` depend on per-path health
+        (``writev`` for SDMA engines, write/read calls for pxd
+        replicas); every other fast call stays admitted.
         """
-        if syscall != "writev":
+        if syscall not in self.data_syscalls:
             return True
-        return any(self.breakers[self.engine_path(i)].admits()
+        return any(self.breakers[self.path_name(i)].admits()
                    for i in range(len(self.gates)))
 
     def pick_healthy_engine(self, hfi: "HFIDevice") -> "SdmaEngine":

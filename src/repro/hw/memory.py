@@ -316,6 +316,14 @@ class SharedHeap:
         if size is None:
             raise ReproError(f"{self.name}: kfree of unallocated {addr:#x}")
         self._free_by_size.setdefault(self._round(size), []).append(addr)
+        # shadow-state reset: a recycled address is a fresh object, not a
+        # continuation of the old one's access history (KSan would
+        # otherwise report races between unrelated allocations)
+        monitor = self._monitor_view
+        if monitor is not None:
+            fn = getattr(monitor, "on_free", None)
+            if fn is not None:
+                fn(addr, size, self)
 
     def live_objects(self) -> int:
         """Number of live allocations (leak checks)."""
@@ -384,6 +392,9 @@ class _MonitorFan:
 
     def on_access(self, *args, **kwargs) -> None:
         self._fan("on_access", *args, **kwargs)
+
+    def on_free(self, *args, **kwargs) -> None:
+        self._fan("on_free", *args, **kwargs)
 
     def on_lock_acquired(self, *args, **kwargs) -> None:
         self._fan("on_lock_acquired", *args, **kwargs)

@@ -43,6 +43,10 @@ class Node:
         self.kheap = SharedHeap(8 * 1024 * 1024,
                                 name=f"node{node_id}.kheap")
         self.hfi = HFIDevice(sim, params.nic, node_id, self.tracer)
+        #: the pxd block device, attached by the machine builder only
+        #: when ``params.blk.replicas > 0`` (storage experiments opt in;
+        #: the paper figures never grow one)
+        self.blockdev = None
         #: kernels attached later by machine builders
         self.linux = None
         self.mckernel = None

@@ -56,6 +56,10 @@ class MlxDriver(FileOps):
         self.devdata: Optional[StructInstance] = None
         self._files: Dict[int, MlxFileState] = {}
         self._next_key = 0x1000
+        #: optional :class:`~repro.guard.manager.GuardManager` for the
+        #: memory-registration fast path (one ``memreg0`` breaker); the
+        #: McKernel dispatcher reads it for admission routing
+        self.guard = None
 
     # -- module load -------------------------------------------------------
 

@@ -1,0 +1,3 @@
+"""The pxd replicated block-device driver (px-fuse fast-path contract)."""
+
+from .driver import PxdDriver, PxdIoHead  # noqa: F401

@@ -1,0 +1,21 @@
+"""pxd driver ioctl command numbers (the px-fuse control surface)."""
+
+from __future__ import annotations
+
+#: read a sector run back through the replica set (retry-next on media
+#: errors; typed :class:`~repro.errors.MediaError` when every in-service
+#: replica fails).  Block reads go through ioctl because the generic
+#: ``read`` syscall path never reaches driver file operations.
+PXD_IOCTL_READ = 0x7801
+#: point-in-time driver health snapshot (in-service set, counters).
+PXD_IOCTL_GET_STATS = 0x7802
+#: administrative re-admission of an evicted replica path: reattach,
+#: resync divergent sectors from a healthy survivor, then re-admit —
+#: or fail typed when no healthy source exists.
+PXD_IOCTL_UPDATE_PATH = 0x7803
+#: suspend/resume the PicoDriver fast path (forced-sync control bit the
+#: fast path observes through its DWARF view of the extension struct).
+PXD_IOCTL_SET_SUSPEND = 0x7804
+
+#: data-path commands the pxd PicoDriver claims
+DATA_IOCTLS = frozenset({PXD_IOCTL_READ})

@@ -261,6 +261,38 @@ class MemParams:
 
 
 @dataclass(frozen=True)
+class BlkParams:
+    """The modeled pxd block device and its backing replicas.
+
+    ``replicas`` defaults to 0: no machine grows a block device unless a
+    storage experiment opts in, which is what keeps the paper figures
+    bit-identical to the pre-PicoBlock tree.
+    """
+
+    #: Backing replicas each write is cloned to (0 = no block device).
+    replicas: int = 0
+    #: Sector size of the backing media.
+    sector_size: int = 512
+    #: Sectors per backing store (capacity = sectors * sector_size).
+    sectors: int = 4096
+    #: Completion-queue depth per replica; doubles as the congestion
+    #: gate capacity (px-fuse ``qdepth`` / ``nr_congestion_on``).
+    qdepth: int = 32
+    #: Fixed media access latency per IO (NVMe-class flash).
+    media_latency: float = 8.0 * USEC
+    #: Media streaming bandwidth.
+    media_bandwidth: float = 2.0e9
+    #: Fixed submit-side cost in the Linux pxd slow path (bio build,
+    #: tracker clone, per-replica queueing).
+    submit_base: float = 0.9 * USEC
+    #: Fixed submit cost in the pxd PicoDriver fast path.
+    submit_base_pico: float = 0.4 * USEC
+    #: Copy bandwidth of the resync scrubber that re-mirrors an evicted
+    #: replica from a healthy survivor before re-admission.
+    resync_bandwidth: float = 1.2e9
+
+
+@dataclass(frozen=True)
 class Params:
     """Top-level parameter bundle handed to every simulator component."""
 
@@ -271,6 +303,7 @@ class Params:
     noise: NoiseParams = field(default_factory=NoiseParams)
     node: NodeParams = field(default_factory=NodeParams)
     mem: MemParams = field(default_factory=MemParams)
+    blk: BlkParams = field(default_factory=BlkParams)
     #: Root seed for all random streams (deterministic runs).
     seed: int = 20180611  # HPDC'18 opening day
 

@@ -212,10 +212,12 @@ def test_cmd_check_list(capsys):
 
 def test_scenario_registry():
     scenarios = get_scenarios()
-    assert set(scenarios) == {"pingpong", "seeded-flag-race", "guard-breaker"}
+    assert set(scenarios) == {"pingpong", "seeded-flag-race",
+                              "guard-breaker", "pxd-fallback"}
     assert scenarios["pingpong"].expect_violation is False
     assert scenarios["seeded-flag-race"].expect_violation is True
     assert scenarios["guard-breaker"].expect_violation is False
+    assert scenarios["pxd-fallback"].expect_violation is False
 
 
 # --- the disabled-identity guarantee -----------------------------------------

@@ -1,4 +1,4 @@
-"""Tests for the PicoDriver protocol lint (PD001-PD013).
+"""Tests for the PicoDriver protocol lint (PD001-PD014).
 
 Each rule gets a violation fixture and a compliant twin; the suite also
 pins the suppression syntax and — the acceptance bar — that the shipped
@@ -641,3 +641,59 @@ def test_pd013_exempts_the_guard_package_itself():
 def test_pd013_in_rules_table():
     assert "PD013" in RULES
     assert "PD013" in rules_table()
+
+
+# --- PD014 storage recovery-hook gating ---------------------------------------
+
+def test_pd014_unguarded_probe_kick():
+    findings = lint("""\
+        def _blk_complete(self, head):
+            self._maybe_probe()
+            self.breakers[0].begin_probe()
+        """, path="src/repro/linux/pxd/driver.py")
+    assert codes(findings) == ["PD014", "PD014"]
+    assert "storage recovery hook" in findings[0].message
+    assert "config.GUARD" in findings[0].message
+
+
+def test_pd014_guard_gates_are_clean():
+    findings = lint("""\
+        def _blk_complete(self, head):
+            if GUARD.enabled:
+                self._maybe_probe()
+
+        def drill(self):
+            guard = self.guard if GUARD.enabled else None
+            if guard is not None:
+                yield from guard.suspend()
+                guard.resume()
+        """, path="src/repro/linux/pxd/driver.py")
+    assert findings == []
+
+
+def test_pd014_scoped_to_the_storage_stack():
+    """``suspend``/``resume`` are generic names; outside the pxd stack
+    the rule must stay quiet."""
+    src = """\
+        def drill(self):
+            yield from self.guard0.suspend()
+            self.guard0.resume()
+        """
+    assert lint(src) == []
+    assert codes(lint(src, path="src/repro/core/pxd_pico.py")) \
+        == ["PD014", "PD014"]
+
+
+def test_pd014_blockdev_device_model_is_exempt():
+    """The device only moves bytes — its watchdog redelivery path runs
+    unconditionally, guard plane or not."""
+    src = """\
+        def _deliver(self, io):
+            self._maybe_probe()
+        """
+    assert lint(src, path="src/repro/hw/blockdev.py") == []
+
+
+def test_pd014_in_rules_table():
+    assert "PD014" in RULES
+    assert "PD014" in rules_table()

@@ -159,3 +159,101 @@ def test_mtt_exhaustion():
     proc = machine.sim.process(body(task))
     machine.sim.run()
     assert isinstance(proc.exception, DriverError)
+
+
+# --- PicoGuard dispatch and typed-error regression ---------------------------
+
+def test_base_claims_surfaces_typed_driver_error():
+    """The framework base class itself is typed: a PicoDriver with no
+    claims() must raise DriverError, never bare NotImplementedError."""
+    from repro.core.picodriver import PicoDriver
+    with pytest.raises(DriverError, match="claims"):
+        PicoDriver().claims("ioctl", (3, MLX_CMD_REG_MR, None))
+
+
+def test_unsupported_fast_command_surfaces_typed_error():
+    """A command the mlx fast path does not support surfaces as a typed
+    DriverError through the McKernel dispatcher — the app can catch it;
+    a bare NotImplementedError would escape the syscall layer."""
+    machine, mlx, pico = machine_with_ib(OSConfig.MCKERNEL_HFI)
+    from repro.core.picodriver import FastPathDecision
+    # rig dispatch: claim every ioctl, including unsupported commands
+    pico.claims = lambda syscall, args: FastPathDecision.claim("rigged")
+
+    def body(task):
+        fd = yield from task.syscall("open", mlx.device_path)
+        yield from task.syscall("ioctl", fd, MLX_CMD_QUERY_DEVICE, None)
+
+    task = machine.spawn_rank(0, 0)
+    proc = machine.sim.process(body(task))
+    machine.sim.run()
+    assert isinstance(proc.exception, DriverError)
+    assert not isinstance(proc.exception, NotImplementedError)
+
+
+def test_claimed_but_unimplemented_syscall_surfaces_typed_error():
+    """Claiming a syscall with no fast_<name> handler is a porting bug
+    the dispatcher reports as a typed DriverError."""
+    machine, mlx, pico = machine_with_ib(OSConfig.MCKERNEL_HFI)
+    from repro.core.picodriver import FastPathDecision
+    pico.claims = lambda syscall, args: FastPathDecision.claim("rigged")
+
+    def body(task):
+        fd = yield from task.syscall("open", mlx.device_path)
+        yield from task.syscall("poll", fd)
+
+    task = machine.spawn_rank(0, 0)
+    proc = machine.sim.process(body(task))
+    machine.sim.run()
+    assert isinstance(proc.exception, DriverError)
+    assert "fast_poll" in str(proc.exception)
+
+
+def test_mtt_exhaustion_feeds_memreg_breaker_and_routes_offload():
+    """With PicoGuard attached, MTT exhaustion on the memreg fast path
+    trips its breaker and later registrations route straight to the
+    offloaded slow path — still failing typed, but without fast-path
+    exception churn."""
+    from repro.config import GUARD, enable_guard
+    from repro.guard import GuardPolicy
+    from repro.guard.manager import GuardManager
+    from repro.units import USEC
+
+    enable_guard(GuardPolicy(failure_window=4, failure_threshold=1,
+                             probe_successes=1, probe_backoff=50 * USEC))
+    try:
+        machine, mlx, pico = machine_with_ib(OSConfig.MCKERNEL_HFI)
+        mlx.guard = GuardManager(machine.sim, GUARD.policy, 1,
+                                 machine.tracer, label="node0.mlx",
+                                 path_prefix="memreg",
+                                 data_syscalls=("ioctl",))
+        # zero MTT capacity: even the span-collapsed fast path is refused
+        mlx.devdata.set("mtt_entries_max", 0)
+        outcomes = []
+
+        def body(task):
+            fd = yield from task.syscall("open", mlx.device_path)
+            buf = yield from task.syscall("mmap", 1 * MiB)
+            for _attempt in range(2):
+                try:
+                    yield from task.syscall(
+                        "ioctl", fd, MLX_CMD_REG_MR,
+                        {"vaddr": buf, "length": 1 * MiB})
+                    outcomes.append("ok")
+                except DriverError:
+                    outcomes.append("typed")
+
+        task = machine.spawn_rank(0, 0)
+        proc = machine.sim.process(body(task))
+        machine.sim.run()
+        assert proc.exception is None
+        assert outcomes == ["typed", "typed"]
+        # the first failure tripped the hair-trigger breaker out of
+        # CLOSED (by end of run the probe backoff has moved it OPEN ->
+        # PROBING, so check the FSM left CLOSED, not a frozen state)...
+        from repro.guard.breaker import BREAKER_CLOSED
+        assert mlx.guard.breakers["memreg0"].state != BREAKER_CLOSED
+        # ...so the second attempt was routed to offload at dispatch
+        assert machine.tracer.get_count("guard.routed_offload.ioctl") >= 1
+    finally:
+        enable_guard(None)

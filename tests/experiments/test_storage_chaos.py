@@ -1,0 +1,77 @@
+"""Tests of the ``chaos --storage`` campaign: the sweep's intact-or-typed
+contract, the recovery drill's eviction/readmit/goodput oracles, and the
+report rendering."""
+
+import pytest
+
+from repro.config import ALL_CONFIGS, OSConfig
+from repro.experiments.chaos import cmd_chaos
+from repro.experiments.storage import (DRILL_SMOKE_PHASES, SMOKE_RATES,
+                                       STORAGE_RECOVERY_BAR, run_storage)
+
+
+@pytest.fixture(scope="module")
+def result():
+    """One full smoke campaign over every OS configuration."""
+    return run_storage(smoke=True)
+
+
+def test_campaign_has_no_contract_violations(result):
+    assert result.violations == []
+
+
+def test_sweep_covers_every_config_and_rate(result):
+    cells = {(c.os_config, c.rate) for c in result.cells}
+    assert cells == {(cfg, rate) for cfg in ALL_CONFIGS
+                     for rate in SMOKE_RATES}
+
+
+def test_zero_rate_cells_ack_everything(result):
+    for cell in result.cells:
+        if cell.rate == 0.0:
+            assert cell.acked == cell.writes
+            assert cell.failed_typed == 0
+            assert cell.counters.get("pxd.evictions", 0) == 0
+
+
+def test_faulted_cells_resolve_every_write(result):
+    for cell in result.cells:
+        assert cell.acked + cell.failed_typed == cell.writes
+        assert cell.goodput > 0
+
+
+def test_fast_path_carries_the_mckernel_hfi_cells(result):
+    hfi = [c for c in result.cells
+           if c.os_config is OSConfig.MCKERNEL_HFI]
+    assert hfi
+    for cell in hfi:
+        assert cell.counters.get("pico.pxd_writes", 0) > 0
+    linux = [c for c in result.cells if c.os_config is OSConfig.LINUX]
+    for cell in linux:
+        assert cell.counters.get("pico.pxd_writes", 0) == 0
+
+
+def test_drills_evict_readmit_and_recover(result):
+    assert {d.os_config for d in result.drills} == set(ALL_CONFIGS)
+    for drill in result.drills:
+        assert drill.evictions >= 1
+        assert drill.readmits >= 1
+        assert drill.recovery_ratio >= STORAGE_RECOVERY_BAR
+        assert [p.name for p in drill.phases] \
+            == [name for name, _count in DRILL_SMOKE_PHASES]
+        assert drill.phase("baseline").failed_typed == 0
+
+
+def test_render_reports_the_verdict(result):
+    text = result.render()
+    assert "storage contract" in text
+    assert "recovery drills" in text
+    for cfg in ALL_CONFIGS:
+        assert cfg.label in text
+
+
+def test_cmd_chaos_storage_smoke_exits_zero(capsys):
+    rc = cmd_chaos(["--storage", "--smoke"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "storage contract" in out

@@ -1,0 +1,43 @@
+"""The PicoBlock disabled-identity guarantee: with ``blk.replicas`` at
+its default of 0 no machine grows a block device, and running the full
+storage machinery (faults + guard + pxd stack) between two figure runs
+leaves them bit-identical — the storage subsystem is invisible unless a
+storage experiment opts in."""
+
+from repro.config import OSConfig
+from repro.experiments import build_machine, run_fig4, run_fig5a
+from repro.params import default_params
+from repro.units import KiB
+
+FIG4_SIZES = (16 * KiB,)
+FIG5_NODES = (2,)
+
+
+def exercise_storage_machine():
+    """Run one faulted, guarded storage cell so the pxd stack
+    demonstrably touched global state between the comparison runs."""
+    from repro.experiments.storage import _run_cell
+    result = _run_cell(OSConfig.MCKERNEL_HFI, rate=0.02, n_writes=8)
+    assert result.writes == 8  # the cell really ran
+
+
+def test_default_params_grow_no_block_device():
+    assert default_params().blk.replicas == 0
+    machine = build_machine(1, OSConfig.MCKERNEL_HFI)
+    mn = machine.nodes[0]
+    assert mn.node.blockdev is None
+    assert mn.pxd is None and mn.pxd_pico is None and mn.pxd_guard is None
+
+
+def test_fig4_bit_identical_around_a_storage_run():
+    baseline = run_fig4(sizes=FIG4_SIZES, repetitions=1)
+    exercise_storage_machine()
+    after = run_fig4(sizes=FIG4_SIZES, repetitions=1)
+    assert after.series == baseline.series
+
+
+def test_fig5_bit_identical_around_a_storage_run():
+    baseline = run_fig5a(node_counts=FIG5_NODES, iterations=1)
+    exercise_storage_machine()
+    after = run_fig5a(node_counts=FIG5_NODES, iterations=1)
+    assert after.relative == baseline.relative
