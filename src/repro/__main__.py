@@ -9,6 +9,8 @@
     python -m repro sanitize fig4 # re-run with the KSan race detector
     python -m repro lockdep fig4  # re-run with the deadlock validator
     python -m repro lockgraph     # static lock-class graph (--dot)
+    python -m repro vet           # whole-program effect analysis (PD015...)
+    python -m repro vet --crosscheck fig4    # dynamic ⊆ static gate
     python -m repro chaos         # fault-injection sweep (--smoke for CI)
     python -m repro chaos --flap  # PicoGuard flap campaign (failover/failback)
     python -m repro trace fig4    # causal tracing (--out/--breakdown/--smoke)
@@ -116,7 +118,7 @@ def main(argv=None) -> int:
         print(__doc__)
         print("commands:", ", ".join([*COMMANDS, "all", "dwarf", "lint",
                                       "sanitize", "lockdep", "lockgraph",
-                                      "chaos", "trace", "check"]))
+                                      "vet", "chaos", "trace", "check"]))
         return 0
     name = argv[0]
     if name == "dwarf":
@@ -133,6 +135,9 @@ def main(argv=None) -> int:
     if name == "lockgraph":
         from .analysis.cli import cmd_lockgraph
         return cmd_lockgraph(argv[1:])
+    if name == "vet":
+        from .analysis.vet import cmd_vet
+        return cmd_vet(argv[1:], COMMANDS)
     if name == "chaos":
         from .experiments.chaos import cmd_chaos
         return cmd_chaos(argv[1:])

@@ -38,13 +38,29 @@ def cmd_lint(argv: List[str]) -> int:
     if "--rules" in argv:
         print(rules_table())
         return 0
-    unknown = [a for a in argv if a.startswith("-") and a != "--rules"]
+    args = list(argv)
+    jobs = 1
+    if "--jobs" in args:
+        idx = args.index("--jobs")
+        if idx + 1 >= len(args):
+            print("--jobs needs a worker count\n"
+                  "usage: python -m repro lint [--rules] [--jobs N] "
+                  "[paths...]")
+            return 2
+        try:
+            jobs = max(1, int(args[idx + 1]))
+        except ValueError:
+            print(f"--jobs: not a number: {args[idx + 1]!r}")
+            return 2
+        del args[idx:idx + 2]
+    unknown = [a for a in args if a.startswith("-") and a != "--rules"]
     if unknown:
         print(f"unknown option(s) {', '.join(unknown)}\n"
-              "usage: python -m repro lint [--rules] [paths...]")
+              "usage: python -m repro lint [--rules] [--jobs N] "
+              "[paths...]")
         return 2
-    paths = [a for a in argv if not a.startswith("-")] or [default_lint_root()]
-    findings = lint_paths(paths)
+    paths = [a for a in args if not a.startswith("-")] or [default_lint_root()]
+    findings = lint_paths(paths, jobs=jobs)
     for finding in findings:
         print(finding.render())
     if findings:

@@ -127,6 +127,35 @@ RULES: Dict[str, Tuple[str, str]] = {
               "guard the probe/suspend recovery hook with 'if "
               "GUARD.enabled' or a 'guard'-is-installed test so "
               "unguarded storage runs never touch the health plane"),
+    # The PD015 family is produced by ``python -m repro vet`` (the
+    # whole-program analysis), not by lint; the entries live here so
+    # vet findings share lint's Finding/hint/suppression machinery and
+    # show up in the one rule table.
+    "PD015.1": ("fast path transitively offloads",
+                "no callee reachable from a fast_* entry point may "
+                "reach the IKC offload machinery; claim less or move "
+                "the work to the slow path"),
+    "PD015.2": ("fast path transitively sleeps",
+                "no callee reachable from a fast_* entry point may "
+                "reach a sleeping service (rcu_synchronize & co); "
+                "defer the sleep to the Linux slow path"),
+    "PD015.3": ("fast path transitively takes page references",
+                "no callee reachable from a fast_* entry point may "
+                "call get_user_pages; walk the LWK's pinned page "
+                "tables instead"),
+    "PD015.4": ("sleep or wait in atomic context",
+                "an IRQ-context function must never reach a sleeping "
+                "service, and a callee that may sleep or wait must "
+                "not be invoked while a spinlock class is held"),
+    "PD015.5": ("static race candidate",
+                "cross-kernel accesses to one struct field need a "
+                "common lock class or atomic accessors; if the race "
+                "is benign by construction, say why in a comment and "
+                "suppress with '# pd-ignore[PD015.5]'"),
+    "PD015.6": ("typed error without handler",
+                "every typed error a fault point can raise needs a "
+                "handler somewhere on the path to the dispatcher "
+                "boundary; catch it or stop raising it"),
     "PD100": ("unused suppression",
               "delete the stale '# pd-ignore' comment (or narrow its "
               "rule list to the codes actually found on the line)"),
@@ -139,7 +168,14 @@ _OFFLOAD_NAMES = frozenset({"_offload", "offload", "offload_syscall",
 #: modules in repro/core allowed to touch raw heap words
 _RAW_HEAP_ALLOWED = frozenset({"structs.py", "sync.py"})
 
-_IGNORE_RE = re.compile(r"#\s*pd-ignore(?:\[([A-Za-z0-9_,\s]*)\])?")
+_IGNORE_RE = re.compile(r"#\s*pd-ignore(?:\[([A-Za-z0-9_.,\s]*)\])?")
+
+
+def code_matches(code: str, listed: str) -> bool:
+    """True if finding ``code`` is covered by suppression entry
+    ``listed`` — exact, or a family prefix (``PD015`` covers
+    ``PD015.2``)."""
+    return code == listed or code.startswith(listed + ".")
 
 
 @dataclass(frozen=True)
@@ -165,10 +201,11 @@ class Finding:
 
 def rules_table() -> str:
     """The rule table shown by ``python -m repro lint --rules``."""
-    lines = ["code   rule                        fix",
-             "-----  --------------------------  " + "-" * 40]
+    lines = ["code     rule                                       fix",
+             "-------  -----------------------------------------  "
+             + "-" * 40]
     for code, (title, hint) in sorted(RULES.items()):
-        lines.append(f"{code}  {title:26s}  {hint}")
+        lines.append(f"{code:7s}  {title:41s}  {hint}")
     return "\n".join(lines)
 
 
@@ -571,11 +608,20 @@ def _check_storage_gating(path: str, tree: ast.AST,
 
 def lint_source(source: str, path: str = "<string>") -> List[Finding]:
     """Lint one module's source text; returns unsuppressed findings."""
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
+    from . import astcache
+    return lint_parsed(astcache.parse_source(source, path))
+
+
+def lint_parsed(module) -> List[Finding]:
+    """Lint one already-parsed :class:`~repro.analysis.astcache.ParsedModule`
+    (the shared-cache entry point: lint, lockgraph and vet all reuse the
+    same parse)."""
+    path, source = module.path, module.source
+    if not module.ok:
+        exc = module.error
         return [Finding(path, exc.lineno or 1, (exc.offset or 1) - 1,
                         "PD000", f"syntax error: {exc.msg}")]
+    tree = module.tree
     findings: List[Finding] = []
     for node in ast.walk(tree):
         if isinstance(node, ast.ClassDef):
@@ -614,7 +660,8 @@ def _suppressed(lines: Sequence[str], finding: Finding) -> bool:
     codes = match.group(1)
     if codes is None:
         return True
-    return finding.code in {c.strip() for c in codes.split(",") if c.strip()}
+    listed = {c.strip() for c in codes.split(",") if c.strip()}
+    return any(code_matches(finding.code, c) for c in listed)
 
 
 def _unused_suppressions(path: str, source: str,
@@ -646,7 +693,11 @@ def _unused_suppressions(path: str, source: str,
                     "line"))
             continue
         listed = {c.strip() for c in codes.split(",") if c.strip()}
-        stale = sorted(listed - found)
+        # PD015 ids belong to ``python -m repro vet`` — lint never
+        # produces them, so only vet can judge such a suppression stale
+        stale = sorted(c for c in listed
+                       if not c.startswith("PD015")
+                       and not any(code_matches(f, c) for f in found))
         if stale:
             out.append(Finding(
                 path, lineno, col + match.start(), "PD100",
@@ -680,12 +731,26 @@ def iter_python_files(paths: Iterable[str]) -> List[str]:
     return sorted(out)
 
 
-def lint_paths(paths: Iterable[str]) -> List[Finding]:
-    """Lint every ``.py`` file under ``paths``."""
+def _lint_file(filename: str) -> List[Finding]:
+    """Worker for ``lint_paths``; module-level so it pickles."""
+    from . import astcache
+    return lint_parsed(astcache.parse_module(filename))
+
+
+def lint_paths(paths: Iterable[str], jobs: int = 1) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths``; with ``jobs > 1`` the
+    files are fanned out over a process pool (each worker keeps its own
+    AST cache — the parallelism trades one parse per worker-file for
+    wall-clock)."""
+    files = iter_python_files(paths)
+    if jobs > 1 and len(files) > 1:
+        import multiprocessing
+        with multiprocessing.Pool(min(jobs, len(files))) as pool:
+            per_file = pool.map(_lint_file, files)
+        return [f for file_findings in per_file for f in file_findings]
     findings: List[Finding] = []
-    for filename in iter_python_files(paths):
-        with open(filename, encoding="utf-8") as handle:
-            findings.extend(lint_source(handle.read(), filename))
+    for filename in files:
+        findings.extend(_lint_file(filename))
     return findings
 
 

@@ -353,6 +353,11 @@ class LockdepValidator:
         """The observed lock-class dependency edges (first witnesses)."""
         return dict(self._edges)
 
+    def acquired_classes(self) -> Set[str]:
+        """Every lock class this validator saw acquired (the dynamic
+        side of the vet crosscheck's acquired-class containment)."""
+        return set(self._usage)
+
     def summary(self) -> str:
         """One-line status for the lockdep CLI."""
         status = (f"{len(self.reports)} finding(s)" if self.reports
@@ -873,22 +878,22 @@ def build_static_lock_graph(
     """Extract the lock graph (and PD008/PD009 findings, with
     ``# pd-ignore`` suppression honoured) from every module under
     ``paths`` (default: the installed ``repro`` tree)."""
+    from . import astcache
     target = [default_lint_root()] if paths is None else list(paths)
     graph = LockGraph()
     findings: List[Finding] = []
     for filename in iter_python_files(target):
-        with open(filename, encoding="utf-8") as handle:
-            source = handle.read()
-        try:
-            tree = ast.parse(source, filename=filename)
-        except SyntaxError as exc:
+        module = astcache.parse_module(filename)
+        if not module.ok:
+            exc = module.error
             findings.append(Finding(filename, exc.lineno or 1,
                                     (exc.offset or 1) - 1, "PD000",
                                     f"syntax error: {exc.msg}"))
             continue
         module_findings: List[Finding] = []
-        check_lock_order(filename, tree, module_findings, graph=graph)
-        lines = source.splitlines()
+        check_lock_order(filename, module.tree, module_findings,
+                         graph=graph)
+        lines = module.source.splitlines()
         findings.extend(f for f in module_findings
                         if not _suppressed(lines, f))
     return graph, findings

@@ -2,9 +2,20 @@
 
 from __future__ import annotations
 
+#: when set (``python -m repro vet --crosscheck`` installs one), called
+#: with every constructed :class:`ReproError` so a dynamic run's typed
+#: errors can be checked for containment in PicoVet's static index of
+#: construction sites
+OBSERVER = None
+
 
 class ReproError(Exception):
     """Base class for all simulator-domain errors."""
+
+    def __init__(self, *args):
+        super().__init__(*args)
+        if OBSERVER is not None:
+            OBSERVER(self)
 
 
 class OutOfMemory(ReproError):

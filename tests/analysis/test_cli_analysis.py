@@ -199,3 +199,31 @@ def test_lockdep_reports_seeded_abba(capsys):
     assert "hierarchy" in out
     assert "linux" in out and "mckernel" in out
     assert ANALYSIS.lockdep is False  # restored even on findings
+
+
+# --- lint --jobs -------------------------------------------------------------
+
+def test_lint_jobs_parallel_matches_serial(capsys):
+    assert main(["lint", "--jobs", "2"]) == 0
+    assert "pd-lint: clean" in capsys.readouterr().out
+
+
+def test_lint_jobs_option_validation(capsys):
+    assert main(["lint", "--jobs"]) == 2
+    assert "--jobs needs a worker count" in capsys.readouterr().out
+    assert main(["lint", "--jobs", "many"]) == 2
+    assert "not a number" in capsys.readouterr().out
+
+
+def test_lint_jobs_parallel_reports_findings(tmp_path, capsys):
+    bad = tmp_path / "core" / "rogue.py"
+    bad.parent.mkdir()
+    bad.write_text(textwrap.dedent("""\
+        class RoguePico(PicoDriver):
+            def fast_poke(self, task, addr):
+                yield self.lwk._offload(task, "poke", (addr,))
+        """))
+    ok = tmp_path / "core" / "fine.py"
+    ok.write_text("x = 1\n")
+    assert main(["lint", "--jobs", "2", str(bad), str(ok)]) == 1
+    assert "PD001" in capsys.readouterr().out

@@ -697,3 +697,46 @@ def test_pd014_blockdev_device_model_is_exempt():
 def test_pd014_in_rules_table():
     assert "PD014" in RULES
     assert "PD014" in rules_table()
+
+
+# --- dotted rule ids and the PD015 family ------------------------------------
+
+def test_code_matches_exact_and_family_prefix():
+    from repro.analysis.lint import code_matches
+    assert code_matches("PD015.2", "PD015.2")
+    assert code_matches("PD015.2", "PD015")     # family prefix
+    assert not code_matches("PD015", "PD015.2")  # prefix is one-way
+    assert not code_matches("PD0152", "PD015")   # dot-bounded, not substring
+
+
+def test_dotted_suppression_is_not_a_blanket_ignore():
+    """A dotted id inside the brackets must parse as a *targeted*
+    suppression; under the pre-dot grammar the bracket group failed to
+    match and the comment degraded to a suppress-everything bare
+    ``pd-ignore``, silently hiding unrelated findings."""
+    src = RAW_HEAP_SRC.replace("read_u(addr, 4)",
+                               "read_u(addr, 4)  # pd-ignore[PD015.5]")
+    assert "PD005" in codes(lint(src, path="src/repro/core/rogue.py"))
+
+
+def test_multi_rule_suppression_with_dotted_member():
+    src = RAW_HEAP_SRC.replace("read_u(addr, 4)",
+                               "read_u(addr, 4)  # pd-ignore[PD005,PD015.2]")
+    findings = lint(src, path="src/repro/core/rogue.py")
+    # PD005 is suppressed; the PD015 member is vet's to judge, so lint
+    # must not report it as stale either
+    assert findings == []
+
+
+def test_lint_leaves_pd015_staleness_to_vet():
+    src = RAW_HEAP_SRC.replace("read_u(addr, 4)",
+                               "read_u(addr, 4)  "
+                               "# pd-ignore[PD005, PD015]")
+    assert lint(src, path="src/repro/core/rogue.py") == []
+
+
+def test_pd015_rules_in_table():
+    for code in ("PD015.1", "PD015.2", "PD015.3", "PD015.4", "PD015.5",
+                 "PD015.6"):
+        assert code in RULES
+        assert code in rules_table()

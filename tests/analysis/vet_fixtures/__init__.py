@@ -1,0 +1,13 @@
+"""Seeded fixtures for the PicoVet whole-program analysis tests.
+
+``sleepy_fastpath`` is an *analysis-only* module: it is handed to
+``vet``/``lint`` as a path and parsed, never executed.  It seeds
+fast-path sins hidden behind cross-class call hops, which the
+whole-program PD015.x checkers must catch and the local lint rules
+provably cannot.
+
+``lockedge_rig`` is a *runnable* module: a miniature experiment that
+takes a dynamic lock dependency edge between lock classes no shipped
+source file mentions, so ``vet --crosscheck`` must fail containment
+and name the missing edge.
+"""
