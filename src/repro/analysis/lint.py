@@ -57,6 +57,10 @@ PD014    storage recovery-hook gating: in the replicated-storage stack
          ``guard``-is-installed check; the fault-draw half of the
          storage contract is PD007 tree-wide, and the blockdev device
          model is exempt (it moves bytes unconditionally)
+PD016    tune-hook gating: every PicoTune probe hook
+         (``on_machine_built``) sits behind a ``config.TUNE`` or
+         ``probe``-is-installed check, so untuned runs stay
+         branch-cheap and bit-identical (``repro/tune`` exempt)
 PD100    unused suppression: a ``# pd-ignore`` comment that suppresses
          nothing (rots silently and hides future real findings)
 =======  ==============================================================
@@ -156,6 +160,10 @@ RULES: Dict[str, Tuple[str, str]] = {
                 "every typed error a fault point can raise needs a "
                 "handler somewhere on the path to the dispatcher "
                 "boundary; catch it or stop raising it"),
+    "PD016": ("tune-hook gating",
+              "guard the probe hook with 'if TUNE.enabled' or a "
+              "'probe'-is-installed test (if probe is not None: ...) "
+              "so untuned runs never touch the exploration service"),
     "PD100": ("unused suppression",
               "delete the stale '# pd-ignore' comment (or narrow its "
               "rule list to the codes actually found on the line)"),
@@ -604,6 +612,28 @@ def _check_storage_gating(path: str, tree: ast.AST,
                          "storage recovery hook")
 
 
+#: the PicoTune probe hook surface PD016 polices at call sites
+_TUNE_HOOK_ATTRS = frozenset({"on_machine_built"})
+
+
+def _check_tune_gating(path: str, tree: ast.AST,
+                       findings: List[Finding]) -> None:
+    """PD016: every PicoTune probe hook is behind a TUNE gate.
+
+    The design-space-exploration service observes simulator-side state
+    through exactly one hook (``probe.on_machine_built``); like the
+    other opt-in planes it must cost untuned runs nothing, so every
+    call site sits behind a ``TUNE``/``probe`` check.  The tune
+    subsystem itself (``repro/tune``) is exempt: the environment and
+    its probes drive the hook surface unconditionally by design.
+    """
+    parts = os.path.normpath(path).split(os.sep)
+    if "tune" in parts:
+        return
+    _check_config_gating(path, tree, findings, ("TUNE", "probe"),
+                         _TUNE_HOOK_ATTRS, "PD016", "PicoTune probe hook")
+
+
 # --- driver ------------------------------------------------------------------
 
 def lint_source(source: str, path: str = "<string>") -> List[Finding]:
@@ -637,6 +667,7 @@ def lint_parsed(module) -> List[Finding]:
     _check_scheduler_gating(path, tree, findings)
     _check_guard_gating(path, tree, findings)
     _check_storage_gating(path, tree, findings)
+    _check_tune_gating(path, tree, findings)
     # PD008/PD009 live in the lockdep module (they share its static
     # lock-graph walker); imported here to keep lint importable from it
     from .lockdep import check_lock_order

@@ -151,6 +151,39 @@ def enable_guard(policy: object = None) -> None:
     GUARD.policy = policy
 
 
+@dataclass
+class TuneConfig:
+    """Opt-in PicoTune observation hooks (see :mod:`repro.tune`).
+
+    ``enabled`` gates the single simulator-side hook PicoTune owns —
+    :class:`repro.experiments.common.Machine` calling the probe's
+    ``on_machine_built`` at the end of construction — behind one
+    branch, so untuned runs stay branch-cheap and bit-identical to a
+    build without the hook (lint rule PD016 enforces the gating,
+    mirroring PD007/PD011/PD013).  ``probe`` holds the active
+    :class:`~repro.tune.env.EvalProbe` while an evaluation is in
+    progress.
+    """
+
+    enabled: bool = False
+    probe: object = None
+
+
+#: the process-wide PicoTune configuration (mutated by
+#: ``python -m repro tune`` and tests)
+TUNE = TuneConfig()
+
+
+def enable_tune_probe(probe: object = None) -> None:
+    """Install a PicoTune probe for machines built after this call.
+
+    Passing ``None`` disables the tune hook entirely (the default
+    state).
+    """
+    TUNE.enabled = probe is not None
+    TUNE.probe = probe
+
+
 class OSConfig(Enum):
     """Which OS stack runs the application ranks."""
 

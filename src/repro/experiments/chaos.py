@@ -105,15 +105,22 @@ def _chaos_params():
         nic=replace(params.nic, sdma_engines=2))
 
 
-def _run_cell(os_config: OSConfig, rate: float,
-              n_messages: int) -> CellResult:
-    """Run one (config, rate) cell of the ping-pong-style workload."""
+def _run_cell(os_config: OSConfig, rate: float, n_messages: int,
+              params=None) -> CellResult:
+    """Run one (config, rate) cell of the ping-pong-style workload.
+
+    ``params`` overrides the 2-engine chaos calibration — the PicoTune
+    environment reuses this cell as its goodput-under-faults fitness
+    over arbitrary design points.
+    """
     # A zero-rate *plan* (rather than no plan) keeps the reliability
     # protocol active, so the rate-0 row is the protocol-overhead
     # baseline and the curve isolates the cost of the faults themselves.
     enable_fault_injection(FaultPlan.uniform(rate))
     try:
-        machine = build_machine(2, os_config, params=_chaos_params())
+        machine = build_machine(
+            2, os_config,
+            params=params if params is not None else _chaos_params())
         sim = machine.sim
         t0 = machine.spawn_rank(0, 0, 0)
         t1 = machine.spawn_rank(1, 0, 1)
@@ -200,11 +207,23 @@ def _run_cell(os_config: OSConfig, rate: float,
         enable_fault_injection(None)
 
 
+def _cell_job(job: Tuple[OSConfig, float, int]) -> CellResult:
+    """Top-level (picklable) shard form of :func:`_run_cell`."""
+    os_config, rate, n_messages = job
+    return _run_cell(os_config, rate, n_messages)
+
+
 def run_chaos(workload: str = "pingpong", smoke: bool = False,
               rates: Optional[Sequence[float]] = None,
               configs: Sequence[OSConfig] = ALL_CONFIGS,
-              n_messages: Optional[int] = None) -> ChaosResult:
-    """Run the fault-rate sweep over every requested OS configuration."""
+              n_messages: Optional[int] = None,
+              workers: int = 1) -> ChaosResult:
+    """Run the fault-rate sweep over every requested OS configuration.
+
+    ``workers > 1`` fans the (config, rate) cells across processes via
+    the PicoTune shard runner; every cell seeds its own machine, so the
+    merged result is bit-identical to the serial sweep.
+    """
     if workload not in WORKLOADS:
         raise ValueError(f"unknown chaos workload {workload!r}; choose "
                          f"from {', '.join(WORKLOADS)}")
@@ -212,8 +231,11 @@ def run_chaos(workload: str = "pingpong", smoke: bool = False,
         rates = SMOKE_RATES if smoke else DEFAULT_RATES
     if n_messages is None:
         n_messages = 9 if smoke else 24
-    cells = [_run_cell(os_config, rate, n_messages)
-             for os_config in configs for rate in rates]
+    from ..tune.runner import map_shards
+    cells = map_shards(_cell_job,
+                       [(os_config, rate, n_messages)
+                        for os_config in configs for rate in rates],
+                       workers=workers)
     return ChaosResult(workload=workload, cells=cells)
 
 
@@ -524,16 +546,25 @@ WORKLOADS = {"pingpong": run_chaos, "flap": run_flap,
 
 def cmd_chaos(argv: List[str]) -> int:
     """Entry point for ``python -m repro chaos [workload] [--smoke]
-    [--flap] [--storage]``."""
+    [--flap] [--storage] [--workers N]``."""
+    argv = list(argv)
     smoke = "--smoke" in argv
     flap = "--flap" in argv
     storage = "--storage" in argv
+    workers = 1
+    if "--workers" in argv:
+        i = argv.index("--workers")
+        if i + 1 >= len(argv) or not argv[i + 1].isdigit():
+            print("--workers needs an integer value")
+            return 2
+        workers = int(argv[i + 1])
+        del argv[i:i + 2]
     rest = [a for a in argv if a not in ("--smoke", "--flap", "--storage")]
     unknown = [a for a in rest if a.startswith("-")]
     if unknown:
         print(f"unknown option(s) {', '.join(unknown)}\n"
               "usage: python -m repro chaos [workload] [--smoke] [--flap] "
-              "[--storage]")
+              "[--storage] [--workers N]")
         return 2
     workload = rest[0] if rest else (
         "flap" if flap else ("storage" if storage else "pingpong"))
@@ -546,6 +577,6 @@ def cmd_chaos(argv: List[str]) -> int:
     elif workload == "storage" or storage:
         result = _run_storage(smoke=smoke)
     else:
-        result = run_chaos(workload, smoke=smoke)
+        result = run_chaos(workload, smoke=smoke, workers=workers)
     print(result.render())
     return 1 if result.violations else 0

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from ..config import ANALYSIS, FAULTS, GUARD, TRACE, OSConfig
+from ..config import ANALYSIS, FAULTS, GUARD, TRACE, TUNE, OSConfig
 from ..core.hfi_pico import HFIPicoDriver
 from ..errors import ReproError
 from ..hw.fabric import Fabric
@@ -90,6 +90,10 @@ class Machine:
         #: collector at this machine's clock
         if TRACE.enabled:
             TRACE.collector.attach_machine(self)
+        #: when ``repro.config.TUNE`` carries a probe (PicoTune
+        #: evaluations), let it observe the fully-built machine
+        if TUNE.enabled and TUNE.probe is not None:
+            TUNE.probe.on_machine_built(self)
 
     def race_reports(self):
         """All cross-kernel races found by this machine's detectors."""

@@ -283,9 +283,15 @@ def _writer(machine, task, jobs, outcomes, acked, span, phase_spans=None):
     return app
 
 
-def _run_cell(os_config: OSConfig, rate: float,
-              n_writes: int) -> StorageCellResult:
-    """Run one (config, rate) cell of the storage sweep."""
+def _run_cell(os_config: OSConfig, rate: float, n_writes: int,
+              params=None) -> StorageCellResult:
+    """Run one (config, rate) cell of the storage sweep.
+
+    ``params`` overrides the default 3-replica calibration — the
+    PicoTune environment reuses this cell as its storage-goodput
+    fitness over arbitrary design points (it must carry
+    ``blk.replicas > 0`` or no block device is built).
+    """
     # A zero-rate *plan* (rather than no plan) keeps the recovery
     # machinery active, so the rate-0 row is the protocol-overhead
     # baseline and the curve isolates the cost of the faults.
@@ -293,7 +299,9 @@ def _run_cell(os_config: OSConfig, rate: float,
     enable_fault_injection(FaultPlan.uniform(rate))
     enable_guard(GuardPolicy(**STORAGE_POLICY_KW))
     try:
-        machine = build_machine(1, os_config, params=_storage_params())
+        machine = build_machine(
+            1, os_config,
+            params=params if params is not None else _storage_params())
         task = machine.spawn_rank(0, 0)
         jobs = [{"phase": "sweep", "index": i, "on_enter": None}
                 for i in range(n_writes)]

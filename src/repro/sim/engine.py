@@ -29,11 +29,26 @@ with their original ``(time, seq)`` keys, preserving FIFO order among
 the events it did not pick.  With no scheduler installed (the default),
 ``step()`` takes the single cheap pop path and behaves bit-identically
 to a build without the hook.
+
+Precomputed no-op dispatch (hot loop)
+-------------------------------------
+``step()`` and ``timeout()`` are *rebound per instance*: installing a
+controlled scheduler or a wait monitor swaps the instance's bound
+method for the instrumented variant, and uninstalling swaps the fast
+variant back.  The disabled configuration therefore pays **zero**
+per-event branches for the monitor hooks — there is no ``if scheduler
+is not None`` test on the fast path at all; the dispatch decision was
+made once, at install time.  cProfile on a full fig4 regeneration
+(~51k events) attributes ~two thirds of the wall clock to
+``step``/``_deliver``/``Timeout.__init__``, which is why these three
+and the classes they allocate (:class:`Event`, :class:`Timeout`,
+:class:`~repro.sim.process.Process` — all ``__slots__``) are the
+flattening targets.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from itertools import count
 from typing import Any, Callable, List, Optional
 
@@ -154,34 +169,78 @@ class Simulator:
         self.now: float = 0.0
         self._heap: list = []
         self._seq = count()
-        #: opt-in wait observer (the lockdep validator): notified of every
-        #: positive-delay timeout so held-across-wait hazards are caught
-        self.wait_monitor = None
-        #: opt-in controlled scheduler (the PicoCheck explorer): when
-        #: installed, same-time ready sets become choice points and every
-        #: step is bracketed for footprint recording.  ``None`` (the
-        #: default) keeps ``step()`` on the single cheap pop path.
-        self.scheduler = None
+        self._wait_monitor = None
+        self._scheduler = None
         #: the :class:`~repro.sim.process.Process` whose generator is
         #: currently executing, or ``None`` between steps / in bare event
         #: callbacks.  The tracer keys its span stacks on this so spans
         #: opened by concurrent processes (progress workers, watchdogs,
         #: IRQ handlers) never interleave on one stack.
         self.active_process = None
+        # Precomputed dispatch: the hot entry points start on their fast
+        # variants; installing a monitor rebinds the instance attribute
+        # (shadowing the class method) so the disabled path never tests
+        # for the hook at all.
+        self.step = self._step_fast
+        self.timeout = self._timeout_fast
+
+    # -- opt-in monitors (precomputed dispatch) ---------------------------
+
+    @property
+    def wait_monitor(self):
+        """Opt-in wait observer (the lockdep validator): notified of
+        every positive-delay timeout so held-across-wait hazards are
+        caught.  Assigning one rebinds :meth:`timeout` to the observed
+        variant; assigning ``None`` restores the fast path."""
+        return self._wait_monitor
+
+    @wait_monitor.setter
+    def wait_monitor(self, monitor) -> None:
+        self._wait_monitor = monitor
+        self.timeout = (self._timeout_fast if monitor is None
+                        else self._timeout_observed)
+
+    @property
+    def scheduler(self):
+        """Opt-in controlled scheduler (the PicoCheck explorer): when
+        installed, same-time ready sets become choice points and every
+        step is bracketed for footprint recording.  Assigning one
+        rebinds :meth:`step` to the controlled variant; assigning
+        ``None`` (the default) restores the single cheap pop path."""
+        return self._scheduler
+
+    @scheduler.setter
+    def scheduler(self, scheduler) -> None:
+        self._scheduler = scheduler
+        self.step = (self._step_fast if scheduler is None
+                     else self._step_controlled)
 
     # -- scheduling ------------------------------------------------------
 
     def _post(self, event: Event, delay: float = 0.0) -> None:
-        heapq.heappush(self._heap, (self.now + delay, next(self._seq), event))
+        heappush(self._heap, (self.now + delay, next(self._seq), event))
 
     def event(self) -> Event:
         """A fresh untriggered event."""
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """An event firing ``delay`` seconds from now."""
-        if self.wait_monitor is not None and delay > 0:
-            self.wait_monitor.on_timed_wait(delay)
+        """An event firing ``delay`` seconds from now.
+
+        Instances carry a rebound fast/observed variant (see
+        :attr:`wait_monitor`); this class-level definition documents the
+        contract and covers any instance built without ``__init__``.
+        """
+        return self._timeout_fast(delay, value)
+
+    def _timeout_fast(self, delay: float, value: Any = None) -> Timeout:
+        # no wait monitor installed: straight to the event allocation
+        return Timeout(self, delay, value)
+
+    def _timeout_observed(self, delay: float, value: Any = None) -> Timeout:
+        wait_monitor = self._wait_monitor
+        if wait_monitor is not None and delay > 0:
+            wait_monitor.on_timed_wait(delay)
         return Timeout(self, delay, value)
 
     def process(self, generator) -> "Process":
@@ -202,20 +261,37 @@ class Simulator:
         module docstring's tie-break policy).  An installed controlled
         scheduler overrides the pick within a same-time ready set; it
         cannot reorder across distinct timestamps.
+
+        Instances carry a rebound fast/controlled variant (see
+        :attr:`scheduler`); this class-level definition documents the
+        contract and covers any instance built without ``__init__``.
         """
-        if not self._heap:
+        return self._step_fast()
+
+    def _step_fast(self) -> None:
+        # the uncontrolled hot path: one pop, one callback fan-out
+        heap = self._heap
+        if not heap:
             raise SimError("step() on an empty event queue")
-        if self.scheduler is not None:
-            # Controlled mode (PicoCheck): surface the same-time ready
-            # set as a choice point and bracket the step so the
-            # scheduler can record its footprint.
-            heap = self._heap
+        when, _, event = heappop(heap)
+        self.now = when
+        event._run_callbacks()
+
+    def _step_controlled(self) -> None:
+        # Controlled mode (PicoCheck): surface the same-time ready set
+        # as a choice point and bracket the step so the scheduler can
+        # record its footprint.
+        heap = self._heap
+        if not heap:
+            raise SimError("step() on an empty event queue")
+        scheduler = self._scheduler
+        if scheduler is not None:
             when = heap[0][0]
-            ready = [heapq.heappop(heap)]
+            ready = [heappop(heap)]
             while heap and heap[0][0] == when:
-                ready.append(heapq.heappop(heap))
+                ready.append(heappop(heap))
             if len(ready) > 1:
-                pick = self.scheduler.choose_ready(when, ready)
+                pick = scheduler.choose_ready(when, ready)
                 if not 0 <= pick < len(ready):
                     raise SimError(f"scheduler chose {pick} out of "
                                    f"{len(ready)} ready events")
@@ -223,19 +299,17 @@ class Simulator:
                 # the unchosen events keep their original (time, seq)
                 # keys, so FIFO order among them is preserved
                 for other in ready:
-                    heapq.heappush(heap, other)
+                    heappush(heap, other)
             else:
                 entry = ready[0]
             self.now = when
-            self.scheduler.on_step_begin(when, entry[1], entry[2])
+            scheduler.on_step_begin(when, entry[1], entry[2])
             try:
                 entry[2]._run_callbacks()
             finally:
-                self.scheduler.on_step_end()
+                scheduler.on_step_end()
             return
-        when, _, event = heapq.heappop(self._heap)
-        self.now = when
-        event._run_callbacks()
+        self._step_fast()  # pragma: no cover - rebinding keeps these in sync
 
     def run(self, until: Optional[Any] = None) -> Any:
         """Run until the queue drains, ``until`` seconds pass, or the

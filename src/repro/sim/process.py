@@ -64,10 +64,11 @@ class Process(Event):
         self._waiting_on = None  # type: ignore[assignment]
         prev_active = self.sim.active_process
         self.sim.active_process = self
-        if self.sim.scheduler is not None:
+        scheduler = self.sim._scheduler
+        if scheduler is not None:
             # PicoCheck footprint recording: which processes a step
             # resumed is half of the explorer's independence relation
-            self.sim.scheduler.on_process_resumed(self)
+            scheduler.on_process_resumed(self)
         try:
             if interrupt is not None:
                 target = self._gen.throw(interrupt)

@@ -8,18 +8,30 @@ Recording is cheap (dict update) and can be disabled wholesale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 
-@dataclass
 class Accumulator:
     """Streaming count/sum/min/max of a scalar series."""
 
-    count: int = 0
-    total: float = 0.0
-    min: float = float("inf")
-    max: float = float("-inf")
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self, count: int = 0, total: float = 0.0,
+                 min: float = float("inf"), max: float = float("-inf")):
+        self.count = count
+        self.total = total
+        self.min = min
+        self.max = max
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Accumulator):
+            return NotImplemented
+        return (self.count, self.total, self.min, self.max) == \
+            (other.count, other.total, other.min, other.max)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Accumulator(count={self.count}, total={self.total}, "
+                f"min={self.min}, max={self.max})")
 
     def add(self, value: float) -> None:
         """Fold one value into the running statistics."""
@@ -35,15 +47,21 @@ class Accumulator:
         return self.total / self.count if self.count else 0.0
 
 
-@dataclass
 class Tracer:
     """Named counters, accumulators and optional (time, value) series."""
 
-    enabled: bool = True
-    keep_series: bool = False
-    counters: Dict[str, int] = field(default_factory=dict)
-    accs: Dict[str, Accumulator] = field(default_factory=dict)
-    series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    __slots__ = ("enabled", "keep_series", "counters", "accs", "series")
+
+    def __init__(self, enabled: bool = True, keep_series: bool = False,
+                 counters: Optional[Dict[str, int]] = None,
+                 accs: Optional[Dict[str, Accumulator]] = None,
+                 series: Optional[Dict[str, List[Tuple[float, float]]]] = None):
+        self.enabled = enabled
+        self.keep_series = keep_series
+        self.counters: Dict[str, int] = {} if counters is None else counters
+        self.accs: Dict[str, Accumulator] = {} if accs is None else accs
+        self.series: Dict[str, List[Tuple[float, float]]] = \
+            {} if series is None else series
 
     def count(self, name: str, n: int = 1) -> None:
         """Increment a named counter."""

@@ -1,0 +1,185 @@
+"""The resumable on-disk results cache.
+
+JSONL format: a header line carrying a magic string and the code
+fingerprint, then one entry per completed evaluation keyed on
+``sha256(point, seed, workload, env config)``.  Appends are flushed
+per entry, so an interrupted campaign resumes from its last completed
+evaluation.
+
+Recovery posture: a corrupted or stale *entry* is never fatal — it is
+recorded as a typed :class:`CacheEntryError` on ``cache.errors`` and
+the point is simply re-evaluated (the gem5-reproducibility posture:
+the artifact store must fail soft).  A cache written by a *different
+code version* (fingerprint mismatch) is ignored wholesale: simulator
+results are only reusable against the exact code that produced them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+
+
+class CacheError(ReproError):
+    """Raised for unusable cache files (unreadable header, bad magic)."""
+
+
+class CacheEntryError(CacheError):
+    """One damaged or stale cache entry (recorded, never raised across
+    a campaign: the affected point is re-evaluated)."""
+
+
+#: format magic: bump on any incompatible layout change
+MAGIC = "picotune-cache/1"
+
+_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """A stable digest of every ``repro`` source file.
+
+    Cache entries are only valid against the exact simulator code that
+    produced them; this fingerprint (sha256 over sorted relative paths
+    and per-file content digests) is the "code-version" component of
+    the cache key.  Computed once per process.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        import repro
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        digest = hashlib.sha256()
+        entries: List[Tuple[str, str]] = []
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = sorted(d for d in dirnames
+                                 if d != "__pycache__")
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                with open(path, "rb") as fh:
+                    file_digest = hashlib.sha256(fh.read()).hexdigest()
+                entries.append((os.path.relpath(path, root), file_digest))
+        for rel, file_digest in sorted(entries):
+            digest.update(rel.encode())
+            digest.update(file_digest.encode())
+        _FINGERPRINT = digest.hexdigest()[:16]
+    return _FINGERPRINT
+
+
+def entry_key(point: Tuple[Tuple[str, object], ...], seed: int,
+              workload: str, config: Dict[str, object]) -> str:
+    """The cache key of one evaluation: sha256 over the canonical
+    JSON of (point, seed, workload, env config)."""
+    payload = json.dumps([list(list(kv) for kv in point), seed, workload,
+                          config], sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class ResultsCache:
+    """A JSONL store of completed evaluations, resumable across runs."""
+
+    def __init__(self, path: str, fingerprint: Optional[str] = None,
+                 resume: bool = False):
+        self.path = path
+        self.fingerprint = (fingerprint if fingerprint is not None
+                            else code_fingerprint())
+        self._entries: Dict[str, Dict[str, object]] = {}
+        #: typed errors from damaged/stale entries seen during load
+        self.errors: List[CacheEntryError] = []
+        self.hits = 0
+        self.misses = 0
+        self._fh = None
+        if resume and os.path.exists(path):
+            self._load()
+        self._open()
+
+    # -- persistence -----------------------------------------------------
+
+    def _load(self) -> None:
+        with open(self.path, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        if not lines:
+            return
+        try:
+            header = json.loads(lines[0])
+            magic = header["magic"]
+            version = header["version"]
+        except (json.JSONDecodeError, KeyError, TypeError):
+            self.errors.append(CacheEntryError(
+                f"{self.path}: unreadable header; starting fresh"))
+            return
+        if magic != MAGIC:
+            self.errors.append(CacheEntryError(
+                f"{self.path}: bad magic {magic!r}; starting fresh"))
+            return
+        if version != self.fingerprint:
+            self.errors.append(CacheEntryError(
+                f"{self.path}: written by code version {version}, "
+                f"current is {self.fingerprint}; entries ignored"))
+            return
+        for lineno, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+                key = entry["key"]
+                float(entry["fitness"]["scalar"])  # shape check
+            except (json.JSONDecodeError, KeyError, TypeError,
+                    ValueError) as exc:
+                self.errors.append(CacheEntryError(
+                    f"{self.path}:{lineno}: damaged entry "
+                    f"({type(exc).__name__}); will re-evaluate"))
+                continue
+            self._entries[key] = entry
+
+    def _open(self) -> None:
+        # rewrite the whole file: header plus every loaded-good entry,
+        # so damaged lines do not survive a resume
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self._fh.write(json.dumps(
+            {"magic": MAGIC, "version": self.fingerprint}) + "\n")
+        for entry in self._entries.values():
+            self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        """Flush and close the backing file."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "ResultsCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- lookups ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """The stored fitness dict for ``key``, or ``None`` (counts
+        toward the hit/miss statistics)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["fitness"]
+
+    def put(self, key: str, fitness: Dict[str, object],
+            meta: Optional[Dict[str, object]] = None) -> None:
+        """Store one completed evaluation (append + flush)."""
+        entry: Dict[str, object] = {"key": key, "fitness": fitness}
+        if meta:
+            entry["meta"] = meta
+        self._entries[key] = entry
+        if self._fh is not None:
+            self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
+            self._fh.flush()

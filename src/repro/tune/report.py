@@ -1,0 +1,104 @@
+"""Trajectory/best-fitness reporting and the ``BENCH_TUNE.json`` artifact.
+
+The JSON schema (``picotune/1``, documented in EXPERIMENTS.md) is the
+repo's tracked perf trajectory: every later PR can regenerate the
+deterministic smoke campaign and the fig4 wall-clock baseline and diff
+them against the committed ``BENCH_PICOTUNE.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional
+
+from .cache import code_fingerprint
+from .runner import CampaignResult
+
+#: artifact schema version: bump on any incompatible payload change
+SCHEMA = "picotune/1"
+
+
+def render_report(result: CampaignResult) -> str:
+    """Human-readable campaign report: header, trajectory, best point."""
+    lines = [f"PicoTune campaign: workload={result.workload} "
+             f"search={result.search} budget={result.budget} "
+             f"seed={result.seed} workers={result.workers}",
+             f"  {result.evaluations_run} evaluated, "
+             f"{result.cache_hits} from cache, "
+             f"{result.wall_seconds:.2f}s wall",
+             "", "trial  scalar      best-so-far  cached  point"]
+    trajectory = result.trajectory
+    for t, best in zip(result.trials, trajectory):
+        point = ", ".join(f"{k}={v}" for k, v in t.point)
+        lines.append(f"{t.index:>5}  {t.fitness.scalar:>10.4g}  "
+                     f"{best:>11.4g}  {'yes' if t.cached else 'no':>6}  "
+                     f"{point}")
+    best = result.best
+    lines.append("")
+    lines.append(f"best: trial {best.index}, scalar "
+                 f"{best.fitness.scalar:.6g}")
+    for name, value in best.fitness.metrics:
+        lines.append(f"  {name} = {value:.6g}")
+    for k, v in best.point:
+        lines.append(f"  point.{k} = {v}")
+    if best.fitness.violations:
+        lines.append(f"  violations: {len(best.fitness.violations)}")
+    return "\n".join(lines)
+
+
+def bench_payload(result: CampaignResult,
+                  baselines: Optional[List[Dict[str, object]]] = None) \
+        -> Dict[str, object]:
+    """The ``picotune/1`` artifact: campaign summary + trajectory +
+    wall-clock baselines, JSON-stable for committing and diffing."""
+    best = result.best
+    return {
+        "schema": SCHEMA,
+        "code_version": code_fingerprint(),
+        "campaign": {
+            "workload": result.workload,
+            "search": result.search,
+            "budget": result.budget,
+            "seed": result.seed,
+            "workers": result.workers,
+            "evaluations_run": result.evaluations_run,
+            "cache_hits": result.cache_hits,
+        },
+        "best": {
+            "trial": best.index,
+            "scalar": best.fitness.scalar,
+            "point": {k: v for k, v in best.point},
+            "metrics": {k: v for k, v in best.fitness.metrics},
+        },
+        "trajectory": result.trajectory,
+        "scalars": [t.fitness.scalar for t in result.trials],
+        "baselines": baselines if baselines is not None else [],
+    }
+
+
+def write_bench(path: str, payload: Dict[str, object]) -> None:
+    """Write the artifact (sorted keys, trailing newline) to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def measure_fig4_baseline(repeats: int = 2) -> Dict[str, object]:
+    """Best-of-``repeats`` wall clock of one small fig4 regeneration —
+    the perf-trajectory entry every PR can compare against.
+
+    Wall seconds vary per machine; the entry also carries the exact
+    workload shape so trend comparisons stay apples-to-apples.
+    """
+    from ..experiments.fig4 import run_fig4
+    from ..units import KiB
+    sizes = (16 * KiB, 256 * KiB)
+    run_fig4(sizes=sizes, repetitions=1)  # warm imports/caches
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        run_fig4(sizes=sizes, repetitions=1)
+        best = min(best, time.perf_counter() - t0)
+    return {"name": "fig4_small_wall_seconds", "value": round(best, 4),
+            "sizes": list(sizes), "repetitions": 1, "best_of": repeats}

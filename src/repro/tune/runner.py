@@ -1,0 +1,187 @@
+"""The sharded campaign runner: fan evaluations across cores.
+
+Two layers:
+
+* :func:`map_shards` — a minimal ``multiprocessing`` map whose merged
+  output is **bit-identical to a serial run**: results come back
+  ``imap_unordered`` (no head-of-line blocking) but are reassembled
+  into submission order, and the mapped function must be a pure
+  top-level function of its item.  Reused by the chaos/contention
+  sweeps.
+* :func:`run_campaign` — the propose → (cache? evaluate) → observe
+  loop.  Batches have a **fixed size independent of worker count**, and
+  all search-strategy RNG draws happen in the parent between batches,
+  so the trial sequence is a pure function of ``(space, search, seed,
+  budget, batch)`` — ``workers`` only changes the wall clock.  Pinned
+  by test.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..sim import RngFactory
+from .cache import ResultsCache, entry_key
+from .env import EnvConfig, EvalJob, Fitness, evaluate_job
+from .search import SearchStrategy, make_search
+from .space import ParamSpace, default_space
+
+
+def _indexed_call(payload):
+    """Worker-side shim: run ``fn(item)`` and tag it with its index
+    (top-level so it pickles under any start method)."""
+    fn, index, item = payload
+    return index, fn(item)
+
+
+def _pool_context():
+    """Prefer ``fork`` (cheap, inherits warm imports); fall back to the
+    platform default where fork is unavailable."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else None)
+
+
+def map_shards(fn: Callable, items: Sequence, workers: int = 1) -> List:
+    """Map ``fn`` over ``items``, optionally across processes.
+
+    ``fn`` must be a top-level (picklable) pure function.  With
+    ``workers <= 1`` this is a plain serial loop; otherwise a process
+    pool evaluates the items concurrently and the results are
+    reassembled in submission order, making the output bit-identical
+    to the serial loop for pure ``fn``.
+    """
+    items = list(items)
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    ctx = _pool_context()
+    out: List = [None] * len(items)
+    with ctx.Pool(processes=min(workers, len(items))) as pool:
+        payloads = [(fn, i, item) for i, item in enumerate(items)]
+        for index, result in pool.imap_unordered(_indexed_call, payloads):
+            out[index] = result
+    return out
+
+
+def trial_seed(campaign_seed: int, index: int) -> int:
+    """The evaluation seed of trial ``index``: a stable derivation
+    from the campaign seed, independent of batching and workers."""
+    return RngFactory(campaign_seed).spawn("tune", "trial",
+                                           index).root_seed
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One completed evaluation in campaign order."""
+
+    index: int
+    point: Tuple[Tuple[str, object], ...]
+    seed: int
+    fitness: Fitness
+    cached: bool
+
+
+@dataclass
+class CampaignResult:
+    """A finished campaign: every trial plus derived summaries."""
+
+    workload: str
+    search: str
+    budget: int
+    seed: int
+    workers: int
+    trials: List[Trial] = field(default_factory=list)
+    evaluations_run: int = 0
+    cache_hits: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def best(self) -> Trial:
+        """Highest-scalar trial (earliest wins ties)."""
+        if not self.trials:
+            raise ValueError("campaign ran no trials")
+        return max(self.trials, key=lambda t: (t.fitness.scalar, -t.index))
+
+    @property
+    def trajectory(self) -> List[float]:
+        """Best-so-far scalar after each trial."""
+        out, best = [], float("-inf")
+        for t in self.trials:
+            best = max(best, t.fitness.scalar)
+            out.append(best)
+        return out
+
+
+def run_campaign(workload: str, search: str = "random", budget: int = 16,
+                 batch: int = 4, seed: int = 20180611, workers: int = 1,
+                 cache: Optional[ResultsCache] = None,
+                 env_config: Optional[EnvConfig] = None,
+                 space: Optional[ParamSpace] = None,
+                 strategy: Optional[SearchStrategy] = None,
+                 log: Optional[Callable[[str], None]] = None) \
+        -> CampaignResult:
+    """Run one exploration campaign and return its trials.
+
+    The loop: the strategy proposes a fixed-size batch, cached points
+    are answered from the store, the rest fan out through
+    :func:`map_shards`, results are written back to the cache and fed
+    to ``strategy.observe`` in proposal order.  ``workers`` never
+    changes any proposed point, seed or fitness — only the wall clock.
+    """
+    if space is None:
+        space = default_space()
+    if env_config is None:
+        env_config = EnvConfig()
+    if strategy is None:
+        strategy = make_search(search, space, seed)
+    result = CampaignResult(workload=workload, search=strategy.name,
+                            budget=budget, seed=seed, workers=workers)
+    t0 = time.perf_counter()
+    index = 0
+    while index < budget:
+        n = min(batch, budget - index)
+        points = strategy.propose(n)
+        batch_trials: List[Optional[Trial]] = [None] * n
+        jobs: List[EvalJob] = []
+        keys: Dict[int, str] = {}
+        for k, point in enumerate(points):
+            canonical = space.canonical(point)
+            eval_seed = trial_seed(seed, index + k)
+            if cache is not None:
+                key = entry_key(canonical, eval_seed, workload,
+                                env_config.to_dict())
+                keys[k] = key
+                stored = cache.get(key)
+                if stored is not None:
+                    batch_trials[k] = Trial(
+                        index=index + k, point=canonical, seed=eval_seed,
+                        fitness=Fitness.from_dict(stored), cached=True)
+                    result.cache_hits += 1
+                    continue
+            jobs.append(EvalJob(index=k, point=canonical, seed=eval_seed,
+                                workload=workload, config=env_config))
+        evaluated = map_shards(evaluate_job, jobs, workers=workers)
+        for job, (k, fitness) in zip(jobs, evaluated):
+            trial = Trial(index=index + k, point=job.point, seed=job.seed,
+                          fitness=fitness, cached=False)
+            batch_trials[k] = trial
+            result.evaluations_run += 1
+            if cache is not None:
+                cache.put(keys.get(k) or entry_key(
+                    job.point, job.seed, workload, env_config.to_dict()),
+                    fitness.to_dict(),
+                    meta={"workload": workload, "trial": index + k})
+        trials = [t for t in batch_trials if t is not None]
+        strategy.observe([(dict(t.point), t.fitness) for t in trials])
+        result.trials.extend(trials)
+        index += n
+        if log is not None:
+            best = result.best
+            log(f"trial {index}/{budget}: best scalar "
+                f"{best.fitness.scalar:.4g} (trial {best.index}, "
+                f"{result.cache_hits} cached)")
+    result.wall_seconds = time.perf_counter() - t0
+    return result

@@ -1,0 +1,199 @@
+"""Pluggable, seed-deterministic search over a :class:`ParamSpace`.
+
+All strategies share one contract:
+
+* ``propose(n)`` returns the next ``n`` points to evaluate;
+* ``observe(results)`` feeds back ``(point, fitness)`` pairs in
+  proposal order.
+
+Every random draw comes from a spawned
+:class:`~repro.sim.rng.RngFactory` stream keyed on the strategy name,
+and both methods run only in the campaign's parent process — so a
+campaign's proposal sequence is a pure function of ``(space, seed,
+observed fitnesses)``, independent of how many worker processes
+evaluated them.  That is the property the parallel==serial test pins.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, Iterable, List, Tuple
+
+from ..errors import ReproError
+from ..sim import RngFactory
+from .env import Fitness
+from .space import ParamSpace
+
+
+class SearchError(ReproError):
+    """Raised for unknown strategies or malformed observations."""
+
+
+class SearchStrategy:
+    """Base class: holds the space and the strategy's RNG stream."""
+
+    #: registry key; subclasses override
+    name = "base"
+
+    def __init__(self, space: ParamSpace, seed: int):
+        self.space = space
+        self.seed = seed
+        self.rng = RngFactory(seed).spawn("tune", self.name).stream("draws")
+
+    def propose(self, n: int) -> List[Dict[str, object]]:
+        """The next ``n`` points to evaluate."""
+        raise NotImplementedError
+
+    def observe(self, results: Iterable[Tuple[Dict[str, object],
+                                              Fitness]]) -> None:
+        """Feed back evaluated ``(point, fitness)`` pairs (no-op by
+        default; learning strategies override)."""
+
+
+class RandomSearch(SearchStrategy):
+    """Uniform random points."""
+
+    name = "random"
+
+    def propose(self, n: int) -> List[Dict[str, object]]:
+        """``n`` uniform draws from the space."""
+        return [self.space.random_point(self.rng) for _ in range(n)]
+
+
+class GridSearch(SearchStrategy):
+    """Exhaustive row-major sweep (cycles when the budget exceeds the
+    space)."""
+
+    name = "grid"
+
+    def __init__(self, space: ParamSpace, seed: int):
+        super().__init__(space, seed)
+        self._points = itertools.cycle(space.iter_points())
+
+    def propose(self, n: int) -> List[Dict[str, object]]:
+        """The next ``n`` grid points in row-major order."""
+        return [dict(next(self._points)) for _ in range(n)]
+
+
+class EvolutionarySearch(SearchStrategy):
+    """Mutation + uniform crossover over the encoded vector.
+
+    Keeps an archive of every observation; parents are drawn from the
+    elite (best ``elite_fraction`` by scalar, ties broken by encoded
+    vector so the ordering is deterministic).  Until the archive holds
+    one full population the strategy explores uniformly.
+    """
+
+    name = "evolution"
+
+    def __init__(self, space: ParamSpace, seed: int, population: int = 8,
+                 elite_fraction: float = 0.5, mutation_rate: float = 0.25):
+        super().__init__(space, seed)
+        self.population = max(2, population)
+        self.elite_fraction = elite_fraction
+        self.mutation_rate = mutation_rate
+        self._archive: List[Tuple[float, Tuple[int, ...]]] = []
+
+    def _elite(self) -> List[Tuple[int, ...]]:
+        ranked = sorted(self._archive, key=lambda sv: (-sv[0], sv[1]))
+        k = max(2, int(len(ranked) * self.elite_fraction))
+        return [vec for _score, vec in ranked[:k]]
+
+    def propose(self, n: int) -> List[Dict[str, object]]:
+        """``n`` children (or uniform explorers pre-population)."""
+        out = []
+        for _ in range(n):
+            if len(self._archive) < self.population:
+                out.append(self.space.random_point(self.rng))
+                continue
+            elite = self._elite()
+            pa = elite[int(self.rng.integers(len(elite)))]
+            pb = elite[int(self.rng.integers(len(elite)))]
+            child = []
+            for axis, a_gene, b_gene in zip(self.space.axes, pa, pb):
+                gene = a_gene if int(self.rng.integers(2)) == 0 else b_gene
+                if float(self.rng.random()) < self.mutation_rate:
+                    gene = int(self.rng.integers(len(axis.values)))
+                child.append(gene)
+            out.append(self.space.decode(child))
+        return out
+
+    def observe(self, results) -> None:
+        """Fold evaluated points into the archive."""
+        for point, fitness in results:
+            self._archive.append((fitness.scalar,
+                                  self.space.encode(point)))
+
+
+class BayesLite(SearchStrategy):
+    """A factorized surrogate: per-(axis, value) running mean fitness
+    plus an exploration bonus, stdlib-math only.
+
+    Each proposal scores a pool of random candidates by the sum over
+    axes of the value's posterior mean (global mean prior) plus
+    ``explore / sqrt(1 + visits)``, and keeps the argmax (ties broken
+    by encoded vector).  Factorized means it cannot model axis
+    interactions — it is the cheap "surrogate-guided" baseline, not a
+    real GP.
+    """
+
+    name = "bayes"
+
+    def __init__(self, space: ParamSpace, seed: int, pool: int = 16,
+                 explore: float = 0.5):
+        super().__init__(space, seed)
+        self.pool = max(2, pool)
+        self.explore = explore
+        #: (axis index, value index) -> [count, sum]
+        self._stats: Dict[Tuple[int, int], List[float]] = {}
+        self._global: List[float] = [0, 0.0]
+
+    def _score(self, vector: Tuple[int, ...]) -> float:
+        prior = (self._global[1] / self._global[0]
+                 if self._global[0] else 0.0)
+        score = 0.0
+        for axis_idx, value_idx in enumerate(vector):
+            count, total = self._stats.get((axis_idx, value_idx), (0, 0.0))
+            mean = total / count if count else prior
+            score += mean + self.explore / math.sqrt(1.0 + count)
+        return score
+
+    def propose(self, n: int) -> List[Dict[str, object]]:
+        """``n`` argmax-of-pool candidates under the surrogate."""
+        out = []
+        for _ in range(n):
+            candidates = [self.space.encode(self.space.random_point(self.rng))
+                          for _ in range(self.pool)]
+            best = max(candidates, key=lambda v: (self._score(v),
+                                                  tuple(-g for g in v)))
+            out.append(self.space.decode(best))
+        return out
+
+    def observe(self, results) -> None:
+        """Update the per-(axis, value) posteriors."""
+        for point, fitness in results:
+            vector = self.space.encode(point)
+            self._global[0] += 1
+            self._global[1] += fitness.scalar
+            for axis_idx, value_idx in enumerate(vector):
+                cell = self._stats.setdefault((axis_idx, value_idx),
+                                              [0, 0.0])
+                cell[0] += 1
+                cell[1] += fitness.scalar
+
+
+#: strategy registry: CLI name -> class
+STRATEGIES = {cls.name: cls for cls in
+              (RandomSearch, GridSearch, EvolutionarySearch, BayesLite)}
+
+
+def make_search(name: str, space: ParamSpace, seed: int,
+                **kwargs) -> SearchStrategy:
+    """Instantiate the named strategy (SearchError on unknown names)."""
+    try:
+        cls = STRATEGIES[name]
+    except KeyError:
+        raise SearchError(f"unknown search strategy {name!r}; choose "
+                          f"from {', '.join(sorted(STRATEGIES))}") from None
+    return cls(space, seed, **kwargs)

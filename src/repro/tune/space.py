@@ -1,0 +1,236 @@
+"""The typed design space: named discrete axes over the calibration.
+
+A :class:`ParamSpace` is an ordered tuple of :class:`Axis` objects,
+each a named, finite, ordered set of values that overrides one field
+of one :class:`~repro.params.Params` section (or, for the ``os_config``
+axis, selects the OS stack itself).  Points have three interchangeable
+forms:
+
+* **dict** ``{axis name: value}`` — the human-facing form;
+* **canonical** ``((name, value), ...)`` in axis-declaration order —
+  hashable, JSON-stable, the cache-key form;
+* **encoded** ``(index, index, ...)`` — the integer-vector form the
+  evolutionary/surrogate searches mutate.
+
+``materialize`` turns a point into a :class:`Design` — a frozen
+:class:`~repro.params.Params` plus the :class:`~repro.config.OSConfig`
+to build the machine under — without touching any global state, so an
+unused space perturbs nothing (the paper figures stay bit-identical
+with tuning off).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+from ..config import OSConfig
+from ..errors import ReproError
+from ..params import Params, default_params
+from ..units import KiB, PAGE_SIZE
+
+
+class SpaceError(ReproError):
+    """Raised for malformed axes or design points."""
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One named, discrete design axis.
+
+    ``section``/``field`` name the :class:`~repro.params.Params` slot
+    the axis overrides; the special section ``None`` marks axes (like
+    ``os_config``) that materialize outside the params bundle.
+    """
+
+    name: str
+    values: Tuple[object, ...]
+    section: Optional[str]
+    field: str
+    doc: str = ""
+
+    def __post_init__(self):
+        if not self.values:
+            raise SpaceError(f"axis {self.name!r} declares no values")
+        if len(set(self.values)) != len(self.values):
+            raise SpaceError(f"axis {self.name!r} repeats a value")
+
+    def index_of(self, value: object) -> int:
+        """Position of ``value`` on this axis (SpaceError if absent)."""
+        try:
+            return self.values.index(value)
+        except ValueError:
+            raise SpaceError(
+                f"axis {self.name!r} has no value {value!r} "
+                f"(choose from {list(self.values)})") from None
+
+
+@dataclass(frozen=True)
+class Design:
+    """A materialized design point: calibrated params + OS stack."""
+
+    params: Params
+    os_config: OSConfig
+
+
+#: the OS-configuration axis values, keyed by their canonical string
+#: form (strings keep points JSON/cache stable)
+OS_CONFIG_VALUES = {cfg.value: cfg for cfg in OSConfig}
+
+
+class ParamSpace:
+    """An ordered set of axes with validation and canonical encoding."""
+
+    def __init__(self, axes: Sequence[Axis]):
+        if not axes:
+            raise SpaceError("a ParamSpace needs at least one axis")
+        names = [a.name for a in axes]
+        if len(set(names)) != len(names):
+            raise SpaceError(f"duplicate axis names: {names}")
+        self.axes: Tuple[Axis, ...] = tuple(axes)
+        self._by_name: Dict[str, Axis] = {a.name: a for a in self.axes}
+
+    def __len__(self) -> int:
+        return len(self.axes)
+
+    def axis(self, name: str) -> Axis:
+        """The named axis (SpaceError if absent)."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SpaceError(
+                f"unknown axis {name!r} (space has "
+                f"{', '.join(self._by_name)})") from None
+
+    @property
+    def size(self) -> int:
+        """Number of distinct points in the space."""
+        n = 1
+        for a in self.axes:
+            n *= len(a.values)
+        return n
+
+    # -- point forms -----------------------------------------------------
+
+    def validate(self, point: Dict[str, object]) -> None:
+        """Raise :class:`SpaceError` unless ``point`` assigns exactly
+        one declared value to every axis."""
+        extra = set(point) - set(self._by_name)
+        if extra:
+            raise SpaceError(f"point assigns unknown axes: {sorted(extra)}")
+        missing = set(self._by_name) - set(point)
+        if missing:
+            raise SpaceError(f"point misses axes: {sorted(missing)}")
+        for name, value in point.items():
+            self._by_name[name].index_of(value)
+
+    def canonical(self, point: Dict[str, object]) \
+            -> Tuple[Tuple[str, object], ...]:
+        """The hashable cache-key form, in axis-declaration order."""
+        self.validate(point)
+        return tuple((a.name, point[a.name]) for a in self.axes)
+
+    def encode(self, point: Dict[str, object]) -> Tuple[int, ...]:
+        """The integer-vector form (per-axis value indices)."""
+        self.validate(point)
+        return tuple(a.index_of(point[a.name]) for a in self.axes)
+
+    def decode(self, vector: Sequence[int]) -> Dict[str, object]:
+        """Invert :meth:`encode` (SpaceError on out-of-range genes)."""
+        if len(vector) != len(self.axes):
+            raise SpaceError(f"vector length {len(vector)} != "
+                             f"{len(self.axes)} axes")
+        point = {}
+        for a, idx in zip(self.axes, vector):
+            if not 0 <= idx < len(a.values):
+                raise SpaceError(f"axis {a.name!r} index {idx} out of "
+                                 f"range 0..{len(a.values) - 1}")
+            point[a.name] = a.values[idx]
+        return point
+
+    def iter_points(self) -> Iterator[Dict[str, object]]:
+        """Every point, in row-major axis-declaration order."""
+        for combo in itertools.product(*(a.values for a in self.axes)):
+            yield {a.name: v for a, v in zip(self.axes, combo)}
+
+    def random_point(self, rng) -> Dict[str, object]:
+        """One uniform point, drawn from a numpy ``Generator``."""
+        return {a.name: a.values[int(rng.integers(len(a.values)))]
+                for a in self.axes}
+
+    # -- materialization -------------------------------------------------
+
+    def materialize(self, point: Dict[str, object],
+                    base: Optional[Params] = None,
+                    seed: Optional[int] = None) -> Design:
+        """Turn a point into a :class:`Design` over ``base`` params.
+
+        Section overrides are grouped and applied with one
+        ``dataclasses.replace`` per touched section; ``app_cores`` is
+        clamped to the core budget when an ``os_cores`` override would
+        exceed ``total_cores`` (the partition reservation would
+        otherwise fail).
+        """
+        self.validate(point)
+        params = base if base is not None else default_params()
+        if seed is not None:
+            params = replace(params, seed=seed)
+        os_config = OSConfig.MCKERNEL_HFI
+        by_section: Dict[str, Dict[str, object]] = {}
+        for a in self.axes:
+            value = point[a.name]
+            if a.section is None:
+                if a.field == "os_config":
+                    os_config = OS_CONFIG_VALUES[value]
+                else:
+                    raise SpaceError(f"axis {a.name!r} has no "
+                                     f"materialization rule")
+                continue
+            by_section.setdefault(a.section, {})[a.field] = value
+        node_kw = by_section.get("node", {})
+        if "os_cores" in node_kw:
+            total = node_kw.get("total_cores", params.node.total_cores)
+            budget = total - node_kw["os_cores"]
+            if node_kw.get("app_cores", params.node.app_cores) > budget:
+                node_kw["app_cores"] = budget
+        sections = {name: replace(getattr(params, name), **kw)
+                    for name, kw in by_section.items()}
+        return Design(params=params.with_overrides(**sections),
+                      os_config=os_config)
+
+    def describe(self) -> str:
+        """One line per axis: name, cardinality, values."""
+        lines = [f"{len(self.axes)} axes, {self.size} points"]
+        for a in self.axes:
+            lines.append(f"  {a.name:<18} ({len(a.values)}) "
+                         f"{list(a.values)}")
+        return "\n".join(lines)
+
+
+#: the default design vector: the paper's ablation axes plus the OS
+#: stack itself as a discrete axis (ROADMAP item 2's parameter vector)
+DEFAULT_AXES = (
+    Axis("sdma_engines", (1, 2, 4, 8, 16), "nic", "sdma_engines",
+         doc="SDMA engines per HFI"),
+    Axis("pio_threshold", (16 * KiB, 32 * KiB, 64 * KiB, 128 * KiB),
+         "nic", "pio_threshold",
+         doc="PSM switches from PIO to SDMA at this size"),
+    Axis("sdma_max_request", (PAGE_SIZE, 8 * KiB, 10 * KiB, 16 * KiB),
+         "nic", "sdma_max_request",
+         doc="descriptor cap: largest single SDMA request"),
+    Axis("window_size", (128 * KiB, 256 * KiB, 512 * KiB),
+         "psm", "window_size",
+         doc="TID window: rendezvous registration granule"),
+    Axis("prefetch_windows", (1, 2, 3, 4), "psm", "prefetch_windows",
+         doc="offload batch: windows registered ahead of the data"),
+    Axis("os_cores", (2, 4, 8), "node", "os_cores",
+         doc="cores reserved for Linux/OS activity"),
+    Axis("os_config", tuple(OS_CONFIG_VALUES), None, "os_config",
+         doc="which OS stack runs the ranks"),
+)
+
+
+def default_space() -> ParamSpace:
+    """The default PicoTune space over :data:`DEFAULT_AXES`."""
+    return ParamSpace(DEFAULT_AXES)

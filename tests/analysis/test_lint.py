@@ -1,4 +1,4 @@
-"""Tests for the PicoDriver protocol lint (PD001-PD014).
+"""Tests for the PicoDriver protocol lint (PD001-PD016).
 
 Each rule gets a violation fixture and a compliant twin; the suite also
 pins the suppression syntax and — the acceptance bar — that the shipped
@@ -697,6 +697,52 @@ def test_pd014_blockdev_device_model_is_exempt():
 def test_pd014_in_rules_table():
     assert "PD014" in RULES
     assert "PD014" in rules_table()
+
+
+# --- PD016 tune-hook gating ---------------------------------------------------
+
+def test_pd016_unguarded_probe_hook():
+    findings = lint("""\
+        def build(self):
+            self.probe.on_machine_built(self)
+        """, path="src/repro/experiments/common.py")
+    assert codes(findings) == ["PD016"]
+    assert "PicoTune probe hook" in findings[0].message
+    assert "config.TUNE" in findings[0].message
+
+
+def test_pd016_tune_enabled_gate_is_clean():
+    findings = lint("""\
+        def build(self):
+            if TUNE.enabled and TUNE.probe is not None:
+                TUNE.probe.on_machine_built(self)
+        """, path="src/repro/experiments/common.py")
+    assert findings == []
+
+
+def test_pd016_probe_is_none_test_is_clean():
+    findings = lint("""\
+        def build(self):
+            probe = TUNE.probe if TUNE.enabled else None
+            if probe is not None:
+                probe.on_machine_built(self)
+        """, path="src/repro/experiments/common.py")
+    assert findings == []
+
+
+def test_pd016_exempts_the_tune_package_itself():
+    src = """\
+        def evaluate(self, point, seed):
+            probe.on_machine_built(machine)
+        """
+    assert lint(src, path="src/repro/tune/env.py") == []
+    assert codes(lint(src, path="src/repro/experiments/common.py")) \
+        == ["PD016"]
+
+
+def test_pd016_in_rules_table():
+    assert "PD016" in RULES
+    assert "PD016" in rules_table()
 
 
 # --- dotted rule ids and the PD015 family ------------------------------------

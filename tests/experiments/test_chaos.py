@@ -54,3 +54,19 @@ def test_cmd_chaos_rejects_unknown_inputs(capsys):
     assert cmd_chaos(["no-such-workload"]) == 2
     out = capsys.readouterr().out
     assert "usage" in out and "pingpong" in out
+
+
+def test_parallel_sweep_is_bit_identical_to_serial():
+    """The PicoTune shard runner fans the cells across processes; the
+    merged sweep must match the serial one cell for cell."""
+    kwargs = dict(smoke=True, rates=(0.0, 0.02),
+                  configs=(OSConfig.MCKERNEL_HFI,), n_messages=4)
+    serial = run_chaos(**kwargs, workers=1)
+    parallel = run_chaos(**kwargs, workers=2)
+    assert serial.cells == parallel.cells
+    assert serial.violations == parallel.violations
+
+
+def test_cmd_chaos_workers_flag(capsys):
+    assert cmd_chaos(["--smoke", "--workers", "nope"]) == 2
+    assert "workers" in capsys.readouterr().out

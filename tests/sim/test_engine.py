@@ -249,3 +249,50 @@ def test_scheduler_out_of_range_pick_rejected():
     sim.scheduler = RecordingScheduler(picks={0: 7})
     with pytest.raises(SimError):
         sim.run()
+
+
+def test_monitor_installation_rebinds_the_hot_dispatch():
+    """The flattened hot loop: with no monitors installed, ``step`` and
+    ``timeout`` are the fast variants (zero per-event branches);
+    installing a scheduler or wait monitor swaps in the instrumented
+    variant, and uninstalling swaps the fast one back."""
+    sim = Simulator()
+    assert sim.step.__func__ is Simulator._step_fast
+    assert sim.timeout.__func__ is Simulator._timeout_fast
+
+    sim.scheduler = RecordingScheduler()
+    assert sim.step.__func__ is Simulator._step_controlled
+    sim.scheduler = None
+    assert sim.step.__func__ is Simulator._step_fast
+
+    class Monitor:
+        seen = 0.0
+
+        def on_timed_wait(self, delay):
+            self.seen += delay
+
+    monitor = Monitor()
+    sim.wait_monitor = monitor
+    assert sim.timeout.__func__ is Simulator._timeout_observed
+    sim.timeout(2.5)
+    assert monitor.seen == 2.5
+    sim.wait_monitor = None
+    assert sim.timeout.__func__ is Simulator._timeout_fast
+    sim.timeout(1.0)
+    assert monitor.seen == 2.5          # uninstalled monitors see nothing
+
+
+def test_dispatch_variants_run_the_same_schedule():
+    """Fast and instrumented stepping produce the identical event
+    order (the rebinding is an optimization, not a semantic switch)."""
+    runs = []
+    for instrumented in (False, True):
+        sim = Simulator()
+        order = []
+        _three_at_once(sim, order)
+        if instrumented:
+            sim.wait_monitor = type("M", (), {
+                "on_timed_wait": lambda self, d: None})()
+        sim.run()
+        runs.append(order)
+    assert runs[0] == runs[1]

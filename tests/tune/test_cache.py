@@ -1,0 +1,122 @@
+"""The resumable results cache: hits, misses, resume, and soft
+recovery from damaged entries and stale code versions."""
+
+import json
+
+from repro.tune import CacheEntryError, ResultsCache, run_campaign
+from repro.tune.cache import MAGIC, code_fingerprint, entry_key
+
+POINT = (("a", 1), ("b", 2))
+
+
+def test_entry_key_is_stable_and_discriminating():
+    key = entry_key(POINT, 7, "synthetic", {"x": 1})
+    assert key == entry_key(POINT, 7, "synthetic", {"x": 1})
+    assert key != entry_key(POINT, 8, "synthetic", {"x": 1})
+    assert key != entry_key(POINT, 7, "pingpong", {"x": 1})
+    assert key != entry_key(POINT, 7, "synthetic", {"x": 2})
+
+
+def test_code_fingerprint_is_cached_and_hexish():
+    fp = code_fingerprint()
+    assert fp == code_fingerprint()
+    assert len(fp) == 16
+    int(fp, 16)
+
+
+def test_put_get_and_hit_miss_counters(tmp_path):
+    path = str(tmp_path / "c.jsonl")
+    with ResultsCache(path) as cache:
+        key = entry_key(POINT, 7, "synthetic", {})
+        assert cache.get(key) is None
+        cache.put(key, {"scalar": 1.5, "metrics": {}, "violations": []})
+        assert cache.get(key)["scalar"] == 1.5
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert len(cache) == 1
+
+
+def test_resume_reloads_entries_fresh_start_ignores_them(tmp_path):
+    path = str(tmp_path / "c.jsonl")
+    key = entry_key(POINT, 7, "synthetic", {})
+    with ResultsCache(path) as cache:
+        cache.put(key, {"scalar": 2.0, "metrics": {}, "violations": []})
+    with ResultsCache(path, resume=True) as cache:
+        assert cache.get(key)["scalar"] == 2.0
+    with ResultsCache(path, resume=False) as cache:
+        assert cache.get(key) is None
+
+
+def test_campaign_resumes_without_re_evaluating(tmp_path):
+    path = str(tmp_path / "c.jsonl")
+    with ResultsCache(path) as cache:
+        first = run_campaign("synthetic", budget=8, batch=4, seed=7,
+                             cache=cache)
+    assert (first.evaluations_run, first.cache_hits) == (8, 0)
+    with ResultsCache(path, resume=True) as cache:
+        second = run_campaign("synthetic", budget=8, batch=4, seed=7,
+                              cache=cache)
+    assert (second.evaluations_run, second.cache_hits) == (0, 8)
+    assert [t.fitness for t in first.trials] \
+        == [t.fitness for t in second.trials]
+    assert all(t.cached for t in second.trials)
+
+
+def test_damaged_entry_is_typed_and_re_evaluated(tmp_path):
+    path = str(tmp_path / "c.jsonl")
+    with ResultsCache(path) as cache:
+        first = run_campaign("synthetic", budget=4, batch=4, seed=7,
+                             cache=cache)
+    lines = open(path).read().splitlines()
+    lines[1] = lines[1][: len(lines[1]) // 2]        # truncated JSON
+    lines[2] = json.dumps({"key": "k", "fitness": {"scalar": "nope"}})
+    with open(path, "w") as fh:
+        fh.write("\n".join(lines) + "\n")
+    with ResultsCache(path, resume=True) as cache:
+        assert len(cache.errors) == 2
+        assert all(isinstance(e, CacheEntryError) for e in cache.errors)
+        assert "re-evaluate" in str(cache.errors[0])
+        second = run_campaign("synthetic", budget=4, batch=4, seed=7,
+                              cache=cache)
+    # the two surviving entries answer; the damaged ones re-run
+    assert (second.evaluations_run, second.cache_hits) == (2, 2)
+    assert [t.fitness for t in first.trials] \
+        == [t.fitness for t in second.trials]
+
+
+def test_stale_code_version_ignores_the_whole_file(tmp_path):
+    path = str(tmp_path / "c.jsonl")
+    with ResultsCache(path, fingerprint="aaaa") as cache:
+        key = entry_key(POINT, 7, "synthetic", {})
+        cache.put(key, {"scalar": 1.0, "metrics": {}, "violations": []})
+    with ResultsCache(path, fingerprint="bbbb", resume=True) as cache:
+        assert len(cache) == 0
+        assert len(cache.errors) == 1
+        assert "code version" in str(cache.errors[0])
+
+
+def test_bad_magic_and_unreadable_header_fail_soft(tmp_path):
+    bad_magic = str(tmp_path / "m.jsonl")
+    with open(bad_magic, "w") as fh:
+        fh.write(json.dumps({"magic": "other/9", "version": "x"}) + "\n")
+    with ResultsCache(bad_magic, resume=True) as cache:
+        assert len(cache) == 0 and "bad magic" in str(cache.errors[0])
+    garbled = str(tmp_path / "g.jsonl")
+    with open(garbled, "w") as fh:
+        fh.write("{not json\n")
+    with ResultsCache(garbled, resume=True) as cache:
+        assert len(cache) == 0 and "header" in str(cache.errors[0])
+
+
+def test_open_rewrites_damaged_lines_away(tmp_path):
+    path = str(tmp_path / "c.jsonl")
+    with ResultsCache(path, fingerprint="ffff") as cache:
+        key = entry_key(POINT, 7, "synthetic", {})
+        cache.put(key, {"scalar": 3.0, "metrics": {}, "violations": []})
+    with open(path, "a") as fh:
+        fh.write("garbage line\n")
+    with ResultsCache(path, fingerprint="ffff", resume=True):
+        pass
+    lines = open(path).read().splitlines()
+    assert json.loads(lines[0])["magic"] == MAGIC
+    assert len(lines) == 2                      # header + the good entry
+    assert json.loads(lines[1])["fitness"]["scalar"] == 3.0

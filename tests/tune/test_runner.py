@@ -1,0 +1,77 @@
+"""The sharded runner: parallel output bit-identical to serial, and
+campaign results invariant under the worker count."""
+
+import pytest
+
+from repro.tune import CampaignResult, Fitness, Trial, run_campaign
+from repro.tune.runner import map_shards, trial_seed
+
+
+def _square(x):
+    """Top-level so the pool can pickle it."""
+    return x * x
+
+
+def test_map_shards_parallel_equals_serial():
+    items = list(range(17))
+    serial = map_shards(_square, items, workers=1)
+    parallel = map_shards(_square, items, workers=4)
+    assert serial == parallel == [x * x for x in items]
+
+
+def test_map_shards_handles_trivial_inputs():
+    assert map_shards(_square, [], workers=4) == []
+    assert map_shards(_square, [3], workers=4) == [9]
+
+
+def test_trial_seed_is_stable_and_distinct():
+    seeds = [trial_seed(20180611, i) for i in range(8)]
+    assert seeds == [trial_seed(20180611, i) for i in range(8)]
+    assert len(set(seeds)) == 8
+    assert trial_seed(1, 0) != trial_seed(2, 0)
+
+
+@pytest.mark.parametrize("search", ["random", "evolution", "bayes"])
+def test_campaign_is_invariant_under_workers(search):
+    serial = run_campaign("synthetic", search=search, budget=10, batch=4,
+                          seed=7, workers=1)
+    parallel = run_campaign("synthetic", search=search, budget=10, batch=4,
+                            seed=7, workers=3)
+    assert [t.point for t in serial.trials] \
+        == [t.point for t in parallel.trials]
+    assert [t.fitness for t in serial.trials] \
+        == [t.fitness for t in parallel.trials]
+    assert [t.seed for t in serial.trials] \
+        == [t.seed for t in parallel.trials]
+    assert serial.best.point == parallel.best.point
+    assert serial.trajectory == parallel.trajectory
+
+
+def test_campaign_runs_exactly_the_budget():
+    result = run_campaign("synthetic", budget=6, batch=4, seed=1)
+    assert [t.index for t in result.trials] == list(range(6))
+    assert result.evaluations_run == 6
+    assert result.cache_hits == 0
+
+
+def test_trajectory_is_monotone_best_so_far():
+    result = run_campaign("synthetic", budget=8, batch=4, seed=2)
+    traj = result.trajectory
+    assert traj == sorted(traj)
+    assert traj[-1] == result.best.fitness.scalar
+
+
+def test_best_of_empty_campaign_is_an_error():
+    empty = CampaignResult(workload="synthetic", search="random",
+                           budget=0, seed=0, workers=1)
+    with pytest.raises(ValueError):
+        empty.best
+
+
+def test_best_breaks_ties_toward_the_earliest_trial():
+    fit = Fitness(scalar=1.0)
+    result = CampaignResult(workload="synthetic", search="random",
+                            budget=2, seed=0, workers=1,
+                            trials=[Trial(0, (), 0, fit, False),
+                                    Trial(1, (), 0, fit, False)])
+    assert result.best.index == 0

@@ -1,0 +1,81 @@
+"""Search strategies: seed determinism, validity, and learning."""
+
+import pytest
+
+from repro.tune import (Fitness, PicoEnv, SearchError, default_space,
+                        make_search)
+from repro.tune.search import STRATEGIES
+
+ALL = sorted(STRATEGIES)
+
+
+def drive(name, seed, rounds=4, batch=4):
+    """Run propose/observe rounds against the synthetic landscape and
+    return every proposed point (canonical form)."""
+    space = default_space()
+    env = PicoEnv("synthetic")
+    strategy = make_search(name, space, seed)
+    seen = []
+    for r in range(rounds):
+        points = strategy.propose(batch)
+        results = [(p, env.evaluate(p, seed=1000 + r)) for p in points]
+        strategy.observe(results)
+        seen.extend(space.canonical(p) for p in points)
+    return seen
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_same_seed_reproduces_the_proposal_sequence(name):
+    assert drive(name, 7) == drive(name, 7)
+
+
+@pytest.mark.parametrize("name", ["random", "evolution", "bayes"])
+def test_different_seeds_explore_differently(name):
+    assert drive(name, 7) != drive(name, 8)
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_proposals_are_valid_points(name):
+    space = default_space()
+    for canon in drive(name, 3, rounds=2):
+        space.validate(dict(canon))
+
+
+def test_grid_sweeps_row_major_and_cycles():
+    space = default_space()
+    strategy = make_search("grid", space, 0)
+    first = strategy.propose(3)
+    expected = []
+    it = space.iter_points()
+    for _ in range(3):
+        expected.append(next(it))
+    assert first == expected
+    # a budget beyond the space wraps around instead of exhausting
+    fourth = strategy.propose(1)
+    strategy.propose(space.size - 1)
+    assert strategy.propose(1) == fourth
+
+
+def test_evolution_archive_feeds_the_elite():
+    space = default_space()
+    strategy = make_search("evolution", space, 3, population=4)
+    points = strategy.propose(4)
+    # seed the archive with one standout point
+    best = points[0]
+    strategy.observe([(best, Fitness(scalar=100.0))]
+                     + [(p, Fitness(scalar=0.0)) for p in points[1:]])
+    elite = strategy._elite()
+    assert space.encode(best) in elite
+
+
+def test_bayes_prefers_observed_good_values():
+    space = default_space()
+    strategy = make_search("bayes", space, 5, explore=0.0)
+    good = {a.name: a.values[0] for a in space.axes}
+    strategy.observe([(good, Fitness(scalar=10.0))])
+    assert strategy._score(space.encode(good)) > 0.0
+
+
+def test_unknown_strategy_is_a_typed_error():
+    with pytest.raises(SearchError, match="unknown search"):
+        make_search("annealing", default_space(), 0)

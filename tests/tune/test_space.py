@@ -1,0 +1,126 @@
+"""The typed design space: validation, the three point forms, and
+materialization into (Params, OSConfig) designs."""
+
+import pytest
+
+from repro.config import OSConfig
+from repro.params import default_params
+from repro.sim import RngFactory
+from repro.tune import Axis, ParamSpace, SpaceError, default_space
+
+
+def small_space():
+    return ParamSpace((
+        Axis("a", (1, 2, 3), "nic", "sdma_engines"),
+        Axis("b", (10, 20), "psm", "prefetch_windows"),
+    ))
+
+
+def test_axis_rejects_empty_and_duplicate_values():
+    with pytest.raises(SpaceError):
+        Axis("x", (), "nic", "sdma_engines")
+    with pytest.raises(SpaceError):
+        Axis("x", (1, 1), "nic", "sdma_engines")
+
+
+def test_space_rejects_no_axes_and_duplicate_names():
+    with pytest.raises(SpaceError):
+        ParamSpace(())
+    ax = Axis("a", (1,), "nic", "sdma_engines")
+    with pytest.raises(SpaceError):
+        ParamSpace((ax, ax))
+
+
+def test_size_and_iteration_agree():
+    space = small_space()
+    points = list(space.iter_points())
+    assert space.size == 6 == len(points)
+    # row-major: the last axis varies fastest
+    assert points[0] == {"a": 1, "b": 10}
+    assert points[1] == {"a": 1, "b": 20}
+    # every point is distinct and valid
+    assert len({space.canonical(p) for p in points}) == 6
+
+
+def test_validate_flags_unknown_missing_and_bad_values():
+    space = small_space()
+    with pytest.raises(SpaceError, match="unknown axes"):
+        space.validate({"a": 1, "b": 10, "c": 5})
+    with pytest.raises(SpaceError, match="misses axes"):
+        space.validate({"a": 1})
+    with pytest.raises(SpaceError, match="no value"):
+        space.validate({"a": 7, "b": 10})
+
+
+def test_encode_decode_round_trip():
+    space = small_space()
+    for point in space.iter_points():
+        assert space.decode(space.encode(point)) == point
+    with pytest.raises(SpaceError, match="length"):
+        space.decode((0,))
+    with pytest.raises(SpaceError, match="out of"):
+        space.decode((0, 5))
+
+
+def test_canonical_is_axis_ordered_and_hashable():
+    space = small_space()
+    canon = space.canonical({"b": 20, "a": 3})
+    assert canon == (("a", 3), ("b", 20))
+    assert hash(canon)  # cache-key form must be hashable
+
+
+def test_random_point_is_deterministic_and_valid():
+    space = default_space()
+    draws = [space.random_point(RngFactory(5).stream("t"))
+             for _ in range(3)]
+    again = [space.random_point(RngFactory(5).stream("t"))
+             for _ in range(3)]
+    assert draws == again
+    for p in draws:
+        space.validate(p)
+
+
+def test_materialize_overrides_the_named_sections():
+    space = default_space()
+    point = {a.name: a.values[0] for a in space.axes}
+    point.update(sdma_engines=16, window_size=512 * 1024,
+                 os_config="linux")
+    design = space.materialize(point, seed=99)
+    assert design.os_config is OSConfig.LINUX
+    assert design.params.nic.sdma_engines == 16
+    assert design.params.psm.window_size == 512 * 1024
+    assert design.params.seed == 99
+    # untouched sections come through from the base calibration
+    assert design.params.ikc == default_params().ikc
+
+
+def test_materialize_leaves_the_base_params_untouched():
+    space = default_space()
+    base = default_params()
+    point = {a.name: a.values[-1] for a in space.axes}
+    space.materialize(point, base=base)
+    assert base == default_params()
+
+
+def test_materialize_clamps_app_cores_to_the_budget():
+    space = default_space()
+    base = default_params()
+    point = {a.name: a.values[0] for a in space.axes}
+    point["os_cores"] = 8
+    design = space.materialize(point, base=base)
+    total = base.node.total_cores
+    assert design.params.node.app_cores == total - 8
+    assert (design.params.node.os_cores + design.params.node.app_cores
+            <= total)
+
+
+def test_default_space_covers_the_paper_axes():
+    space = default_space()
+    names = [a.name for a in space.axes]
+    assert names == ["sdma_engines", "pio_threshold", "sdma_max_request",
+                     "window_size", "prefetch_windows", "os_cores",
+                     "os_config"]
+    assert space.size == 8640
+    assert set(space.axis("os_config").values) \
+        == {cfg.value for cfg in OSConfig}
+    assert "8640" in space.describe()
